@@ -1,0 +1,84 @@
+//! **Theorem 5.1** — CMA per-node complexity.
+//!
+//! The paper claims O(m + q) per node per iteration, where `m` is the
+//! number of sensed samples and `q` the number of single-hop neighbors.
+//! These benches scale `m` (via the sensing radius) and `q`
+//! independently; per-element time should stay near-constant for `q`
+//! and grow at most linearly-with-small-constant for `m` (the local
+//! curvature map adds a bounded-window factor, see the module docs of
+//! `cps_core::ostd::cma`).
+
+use cps_core::ostd::{cma_step, CmaConfig, NeighborInfo};
+use cps_field::{Field, PeaksField};
+use cps_geometry::{Point2, Rect};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn sense(field: &PeaksField, center: Point2, rs: f64) -> Vec<(Point2, f64)> {
+    let r = rs.ceil() as i32;
+    let mut out = Vec::new();
+    for dx in -r..=r {
+        for dy in -r..=r {
+            let p = Point2::new(center.x + dx as f64, center.y + dy as f64);
+            if center.distance(p) <= rs {
+                out.push((p, field.value(p)));
+            }
+        }
+    }
+    out
+}
+
+fn ring_neighbors(center: Point2, q: usize, radius: f64) -> Vec<NeighborInfo> {
+    (0..q)
+        .map(|i| {
+            let a = std::f64::consts::TAU * i as f64 / q as f64;
+            NeighborInfo {
+                position: Point2::new(center.x + radius * a.cos(), center.y + radius * a.sin()),
+                curvature: 0.01 * (i as f64 + 1.0),
+            }
+        })
+        .collect()
+}
+
+fn bench_scaling_in_m(c: &mut Criterion) {
+    let field = PeaksField::new(Rect::square(100.0).unwrap(), 8.0);
+    let center = Point2::new(50.0, 50.0);
+    let neighbors = ring_neighbors(center, 4, 8.0);
+    let mut group = c.benchmark_group("cma_step_scaling_m");
+    for rs in [3.0, 5.0, 7.0, 9.0] {
+        let sensed = sense(&field, center, rs);
+        let cfg = CmaConfig {
+            sensing_radius: rs,
+            ..CmaConfig::default()
+        };
+        group.throughput(Throughput::Elements(sensed.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{}", sensed.len())),
+            &sensed,
+            |b, sensed| {
+                b.iter(|| {
+                    cma_step(center, field.value(center), sensed, &neighbors, &cfg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_q(c: &mut Criterion) {
+    let field = PeaksField::new(Rect::square(100.0).unwrap(), 8.0);
+    let center = Point2::new(50.0, 50.0);
+    let sensed = sense(&field, center, 5.0);
+    let cfg = CmaConfig::default();
+    let mut group = c.benchmark_group("cma_step_scaling_q");
+    for q in [2usize, 4, 8, 16, 32] {
+        let neighbors = ring_neighbors(center, q, 8.0);
+        group.throughput(Throughput::Elements(q as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &neighbors, |b, n| {
+            b.iter(|| cma_step(center, field.value(center), &sensed, n, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_m, bench_scaling_in_q);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Substrate bench: the quadric fit behind Eqns. 11–13.
+
+use cps_core::ostd::fit_quadric;
+use cps_field::{Field, ParaboloidField};
+use cps_geometry::Point2;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fit(c: &mut Criterion) {
+    let field = ParaboloidField::new(Point2::new(0.0, 0.0), 0.4, 0.1, 0.3);
+    let mut group = c.benchmark_group("quadric_fit");
+    for rs in [3i32, 5, 8] {
+        let mut samples = Vec::new();
+        for dx in -rs..=rs {
+            for dy in -rs..=rs {
+                let p = Point2::new(dx as f64, dy as f64);
+                if p.distance(Point2::ORIGIN) <= rs as f64 {
+                    samples.push((p, field.value(p)));
+                }
+            }
+        }
+        group.throughput(Throughput::Elements(samples.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{}", samples.len())),
+            &samples,
+            |b, samples| b.iter(|| fit_quadric(Point2::ORIGIN, 0.0, samples).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Substrate bench: incremental Delaunay insertion and point location.
+
+use cps_geometry::{Point2, Rect, Triangulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.1..99.9), rng.gen_range(0.1..99.9)))
+        .collect()
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let bounds = Rect::square(100.0).unwrap();
+    let mut group = c.benchmark_group("delaunay_insert");
+    for n in [100usize, 500, 1000] {
+        let pts = random_points(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut dt = Triangulation::new(bounds);
+                for &p in pts {
+                    let _ = dt.insert(p);
+                }
+                dt.vertex_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let bounds = Rect::square(100.0).unwrap();
+    let pts = random_points(500, 7);
+    let mut dt = Triangulation::new(bounds);
+    for c in bounds.corners() {
+        dt.insert(c).unwrap();
+    }
+    for &p in &pts {
+        let _ = dt.insert(p);
+    }
+    let zs: Vec<f64> = dt.vertices().map(|p| p.x + p.y).collect();
+    let queries = random_points(1000, 99);
+    c.bench_function("delaunay_interpolate_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += dt.interpolate(q, &zs).unwrap_or(0.0);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_insertion, bench_interpolation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Substrate bench: the δ quadrature (Eqn. 2) and reconstruction.
+
+use cps_core::evaluate_deployment;
+use cps_core::osd::baselines;
+use cps_field::{delta, PeaksField, PlaneField};
+use cps_geometry::{GridSpec, Rect};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_volume_difference(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 101, 101).unwrap();
+    let f = PeaksField::new(region, 8.0);
+    let g = PlaneField::new(0.1, -0.05, 1.0);
+    c.bench_function("volume_difference_101x101", |b| {
+        b.iter(|| delta::volume_difference(&f, &g, &grid))
+    });
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 101, 101).unwrap();
+    let f = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, 100, &mut rng);
+    c.bench_function("evaluate_deployment_100_nodes", |b| {
+        b.iter(|| evaluate_deployment(&f, &nodes, 10.0, &grid).unwrap().delta)
+    });
+}
+
+criterion_group!(benches, bench_volume_difference, bench_full_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate bench: connectivity machinery at deployment scale.
+
+use cps_geometry::{Point2, Rect};
+use cps_network::{articulation_points, network_diameter, RelayPlan, UnitDiskGraph};
+use cps_geometry::{coverage_areas, Triangulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn deployment(n: usize) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(13);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.5..99.5), rng.gen_range(0.5..99.5)))
+        .collect()
+}
+
+fn bench_graph_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_pipeline");
+    for n in [100usize, 300] {
+        let pts = deployment(n);
+        group.bench_with_input(BenchmarkId::new("build+components", n), &pts, |b, pts| {
+            b.iter(|| {
+                let g = UnitDiskGraph::new(pts.clone(), 12.0).unwrap();
+                g.component_count()
+            })
+        });
+        let g = UnitDiskGraph::new(pts.clone(), 12.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("articulation", n), &g, |b, g| {
+            b.iter(|| articulation_points(g).len())
+        });
+        group.bench_with_input(BenchmarkId::new("relay_plan", n), &g, |b, g| {
+            b.iter(|| RelayPlan::for_graph(g).relay_count())
+        });
+    }
+    // Diameter is O(V·E log V): bench at the small size only.
+    let g = UnitDiskGraph::new(deployment(100), 15.0).unwrap();
+    group.bench_function("diameter_100", |b| b.iter(|| network_diameter(&g)));
+    group.finish();
+}
+
+fn bench_voronoi(c: &mut Criterion) {
+    let bounds = Rect::square(100.0).unwrap();
+    let mut group = c.benchmark_group("voronoi");
+    for n in [50usize, 200] {
+        let pts = deployment(n);
+        let dt = Triangulation::from_points(bounds, pts).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dt, |b, dt| {
+            b.iter(|| coverage_areas(dt).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_pipeline, bench_voronoi);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! System-level bench: one full simulation slot (sense → CMA → LCM →
+//! move) at the paper's scale.
+
+use cps_field::{GaussianBlob, GaussianMixtureField, Static};
+use cps_geometry::{Point2, Rect};
+use cps_sim::{scenario, SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn environment() -> Static<GaussianMixtureField> {
+    Static::new(GaussianMixtureField::new(
+        2.0,
+        vec![
+            GaussianBlob::isotropic(Point2::new(30.0, 65.0), 25.0, 6.0),
+            GaussianBlob::isotropic(Point2::new(70.0, 30.0), 20.0, 5.0),
+        ],
+    ))
+}
+
+fn bench_step(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let mut group = c.benchmark_group("sim_step");
+    group.sample_size(20);
+    for k in [25usize, 100] {
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            // Fresh sim per batch so node positions stay comparable.
+            b.iter_batched(
+                || {
+                    Simulation::new(
+                        environment(),
+                        region,
+                        SimConfig::default(),
+                        scenario::grid_start_spaced(region, k, 9.3),
+                        0.0,
+                    )
+                    .unwrap()
+                },
+                |mut sim| {
+                    sim.step().unwrap();
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! **Ablation** — the repulsion weight β (Eqn. 18).
+//!
+//! The paper fixes β = 2 as "an empirical constance". This ablation
+//! sweeps β on the Fig. 8-10 scenario (30 simulated minutes) and
+//! reports the final δ and connectivity, showing the
+//! attraction/repulsion balance the choice encodes: no repulsion (β=0)
+//! lets nodes clump; too much repulsion freezes the uniform lattice.
+
+use cps_bench::{eval_grid, paper_region, PAPER_RC};
+use cps_core::CpsConfig;
+use cps_greenorbs::{ForestConfig, LatentLightField};
+use cps_sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+
+fn main() {
+    let region = paper_region();
+    let field = LatentLightField::new(&ForestConfig::default());
+    let grid = eval_grid();
+
+    println!("=== Ablation: repulsion weight beta (30 min of CMA, 100 nodes) ===");
+    println!("{:>6} {:>12} {:>12} {:>10}", "beta", "delta_start", "delta_end", "connected");
+    for beta in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let cps = CpsConfig::builder().beta(beta).build().expect("valid config");
+        let config = SimConfig {
+            cps,
+            ..SimConfig::default()
+        };
+        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+        let mut sim =
+            Simulation::new(&field, region, config, start, 600.0).expect("sim constructs");
+        let mut timeline = DeltaTimeline::new();
+        let e0 = timeline.record(&sim, &grid).expect("evaluation");
+        for _ in 0..30 {
+            sim.step().expect("step succeeds");
+        }
+        let e1 = timeline.record(&sim, &grid).expect("evaluation");
+        println!(
+            "{beta:>6.1} {:>12.1} {:>12.1} {:>10}",
+            e0.delta, e1.delta, e1.connected
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! **Ablation** — the communication radius `Rc`.
+//!
+//! The connectivity constraint is the binding cost of OSD at small
+//! radii: relays eat the budget. This ablation sweeps `Rc` at a fixed
+//! budget and reports δ and the refinement/relay split.
+
+use cps_bench::{eval_grid, paper_dataset, reference_light_surface};
+use cps_core::evaluate_deployment;
+use cps_core::osd::FraBuilder;
+
+fn main() {
+    let dataset = paper_dataset();
+    let reference = reference_light_surface(&dataset);
+    let grid = eval_grid();
+
+    println!("=== Ablation: communication radius (FRA, k = 60) ===");
+    println!("{:>6} {:>12} {:>8} {:>8} {:>10}", "Rc", "delta", "refined", "relays", "connected");
+    for rc in [5.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0] {
+        let fra = FraBuilder::new(60, rc)
+            .grid(grid)
+            .run(&reference)
+            .expect("FRA succeeds");
+        let eval = evaluate_deployment(&reference, &fra.positions, rc, &grid)
+            .expect("evaluation succeeds");
+        println!(
+            "{rc:>6.1} {:>12.1} {:>8} {:>8} {:>10}",
+            eval.delta, fra.refined, fra.relays, eval.connected
+        );
+    }
+    println!("\nsmaller Rc -> more budget spent on relays -> higher delta.");
+}

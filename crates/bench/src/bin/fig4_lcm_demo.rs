@@ -1,0 +1,74 @@
+//! **Fig. 4** — the local connectivity mechanism, node by node.
+//!
+//! The paper's Fig. 4 walks through one LCM decision: n1 moves; n3 is
+//! still in range, n4 is bridged through n3, n5 is stranded and must
+//! follow to exactly `Rc` from the destination, and n2 becomes a new
+//! neighbor. This demo executes the paper's exact scenario through the
+//! library's LCM primitives and prints each verdict.
+
+use cps_core::ostd::lcm;
+use cps_geometry::Point2;
+use cps_network::UnitDiskGraph;
+
+fn main() {
+    let rc = 10.0;
+    // The Fig. 4 cast (coordinates chosen to match the paper's roles).
+    let n1_old = Point2::new(10.0, 10.0);
+    let n1_dest = Point2::new(4.0, 10.0); // the arrowhead position
+    let n2 = Point2::new(-5.0, 12.0); // outside n1's old disk
+    let n3 = Point2::new(12.0, 16.0); // stays in range of the destination
+    let n4 = Point2::new(19.0, 14.0); // out of range, but bridged by n3
+    let n5 = Point2::new(14.0, 0.0); // stranded: must follow
+
+    println!("=== Fig. 4: the LCM rule on the paper's scenario (Rc = {rc}) ===\n");
+    println!("n1 moves {} -> {}", n1_old, n1_dest);
+
+    let check = |name: &str, node: Point2, others: &[Point2]| {
+        let stays = lcm::stays_connected(node, n1_dest, others, rc);
+        let direct = node.distance(n1_dest) <= rc;
+        println!(
+            "  {name} at {node}: distance to dest {:.1} -> {}",
+            node.distance(n1_dest),
+            if direct {
+                "still a direct neighbor (stays in situ)"
+            } else if stays {
+                "bridged by another former neighbor (stays in situ)"
+            } else {
+                "stranded: follows the mover"
+            }
+        );
+        stays
+    };
+
+    assert!(check("n3", n3, &[n4, n5]));
+    assert!(check("n4", n4, &[n3, n5]));
+    assert!(!check("n5", n5, &[n3, n4]));
+
+    let n5_new = lcm::follow_position(n5, n1_dest, rc);
+    println!(
+        "  n5 relocates to ({:.2}, {:.2}) — exactly Rc from the destination ({:.3})",
+        n5_new.x,
+        n5_new.y,
+        n5_new.distance(n1_dest)
+    );
+
+    // n2 becomes a new single-hop neighbor after the move (the paper's
+    // closing observation).
+    assert!(n2.distance(n1_old) > rc);
+    assert!(n2.distance(n1_dest) < rc);
+    println!(
+        "  n2 at {n2}: was {:.1} away, now {:.1} — a new neighbor",
+        n2.distance(n1_old),
+        n2.distance(n1_dest)
+    );
+
+    // The post-move network is connected.
+    let after = vec![n1_dest, n2, n3, n4, n5_new];
+    let graph = UnitDiskGraph::new(after, rc).unwrap();
+    println!(
+        "\npost-move network: {} components (connected: {})",
+        graph.component_count(),
+        graph.is_connected()
+    );
+    assert!(graph.is_connected());
+}

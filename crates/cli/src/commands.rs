@@ -1,0 +1,279 @@
+//! The `cps` subcommands.
+
+use std::error::Error;
+use std::fs;
+
+use cps_core::osd::FraBuilder;
+use cps_core::analyze_deployment;
+use cps_field::Field;
+use cps_geometry::{GridSpec, Point2, Rect};
+use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
+use cps_sim::{scenario, DeltaTimeline, SimConfig, Simulation, TrajectoryRecorder};
+use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
+
+use crate::args::Args;
+
+/// Usage text shown by `cps help` and on argument errors.
+pub const USAGE: &str = "\
+usage: cps <command> [--flag value]...
+
+commands:
+  generate  --out trace.json [--seed N] [--nodes 1000] [--hours 24] [--csv readings.csv]
+            synthesize a GreenOrbs-style forest sensing trace
+  surface   --trace trace.json [--hour 10] [--resolution 101] [--out surface.pgm]
+            extract and render the referential light surface
+  plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv]
+            plan a stationary deployment with FRA and report its quality
+  simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg]
+            run the CMA mobile swarm on the latent light field
+  report    --trace trace.json --plan plan.csv [--rc 10] [--hour 10]
+            full quality/robustness report for an existing deployment
+  help      show this text
+
+the region of interest is the paper's 100x100 m window at (20,20)-(120,120).";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn region() -> Rect {
+    Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).expect("static region")
+}
+
+fn load_trace(path: &str) -> Result<Dataset, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    Ok(Dataset::from_json(&text)?)
+}
+
+/// `cps generate` — synthesize and save a trace.
+pub fn generate(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let config = ForestConfig {
+        seed: args.u64_or("seed", ForestConfig::default().seed)?,
+        node_count: args.usize_or("nodes", 1000)?,
+        hours: args.u32_or("hours", 24)?,
+        ..ForestConfig::default()
+    };
+    let csv_path = args.string_or("csv", "");
+    args.finish()?;
+
+    let dataset = Dataset::generate(&config);
+    fs::write(&out, dataset.to_json()?)?;
+    println!(
+        "wrote {out}: {} nodes x {} hours ({} readings)",
+        dataset.node_count(),
+        dataset.hours(),
+        dataset.readings().len()
+    );
+    if !csv_path.is_empty() {
+        let mut buf = Vec::new();
+        dataset.write_readings_csv(&mut buf)?;
+        fs::write(&csv_path, buf)?;
+        println!("wrote {csv_path} (readings CSV)");
+    }
+    Ok(())
+}
+
+/// `cps surface` — extract the referential surface.
+pub fn surface(args: &Args) -> CmdResult {
+    let trace = args.require("trace")?;
+    let hour = args.u32_or("hour", 10)?;
+    let resolution = args.usize_or("resolution", 101)?;
+    let out = args.string_or("out", "");
+    args.finish()?;
+
+    let dataset = load_trace(&trace)?;
+    let field = dataset.region_field(region(), Channel::Light, hour, resolution)?;
+    let grid = GridSpec::new(region(), resolution, resolution)?;
+    println!("light surface at hour {hour}:");
+    println!("{}", ascii_heatmap(&field, &grid, 72, 28));
+    let stats = field.summarize(&grid);
+    println!(
+        "KLux: min {:.2}  max {:.2}  mean {:.2}  std {:.2}",
+        stats.min, stats.max, stats.mean, stats.std_dev
+    );
+    if !out.is_empty() {
+        fs::write(&out, field_to_pgm(&field, &grid, 404, 404))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `cps plan` — run FRA and save the deployment.
+pub fn plan(args: &Args) -> CmdResult {
+    let trace = args.require("trace")?;
+    let k = args.usize_or("k", 80)?;
+    let rc = args.f64_or("rc", 10.0)?;
+    let hour = args.u32_or("hour", 10)?;
+    let out = args.string_or("out", "");
+    args.finish()?;
+
+    let dataset = load_trace(&trace)?;
+    let reference = dataset.region_field(region(), Channel::Light, hour, 101)?;
+    let grid = GridSpec::new(region(), 101, 101)?;
+    let result = FraBuilder::new(k, rc).grid(grid).run(&reference)?;
+    println!(
+        "FRA placed {k} nodes: {} refinement picks, {} connectivity relays",
+        result.refined, result.relays
+    );
+    println!("{}", ascii_scatter(&result.positions, region(), 60, 24));
+
+    let report = analyze_deployment(&reference, &result.positions, rc, &grid)?;
+    print_report(&report);
+
+    if !out.is_empty() {
+        let mut csv = String::from("x,y\n");
+        for p in &result.positions {
+            csv.push_str(&format!("{},{}\n", p.x, p.y));
+        }
+        fs::write(&out, csv)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `cps simulate` — the CMA mobile swarm.
+pub fn simulate(args: &Args) -> CmdResult {
+    let k = args.usize_or("k", 100)?;
+    let minutes = args.usize_or("minutes", 45)?;
+    let seed = args.u64_or("seed", ForestConfig::default().seed)?;
+    let svg_path = args.string_or("svg", "");
+    args.finish()?;
+
+    let config = ForestConfig {
+        seed,
+        ..ForestConfig::default()
+    };
+    let field = LatentLightField::new(&config);
+    let grid = GridSpec::new(region(), 101, 101)?;
+    let start = scenario::grid_start_spaced(region(), k, 9.3);
+    let mut sim = Simulation::new(&field, region(), SimConfig::default(), start, 600.0)?;
+    let mut timeline = DeltaTimeline::new();
+    let mut tracks = TrajectoryRecorder::new();
+    tracks.record(&sim);
+    let e0 = timeline.record(&sim, &grid)?;
+    println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
+    for minute in 1..=minutes {
+        let r = sim.step()?;
+        tracks.record(&sim);
+        if minute % 5 == 0 || minute == minutes {
+            let e = timeline.record(&sim, &grid)?;
+            println!(
+                "t=10:{minute:02}  delta {:.1}  connected {}  moved {}  lcm {}",
+                e.delta, e.connected, r.moved, r.lcm_followers
+            );
+        }
+    }
+    println!("final formation:");
+    println!("{}", ascii_scatter(&sim.positions(), region(), 60, 24));
+    if !svg_path.is_empty() {
+        let polylines: Vec<Vec<Point2>> = (0..k)
+            .map(|id| tracks.track(id).iter().map(|&(_, p)| p).collect())
+            .collect();
+        fs::write(
+            &svg_path,
+            trajectories_svg(&polylines, region(), &SvgStyle::default()),
+        )?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+/// `cps report` — analyze a saved deployment.
+pub fn report(args: &Args) -> CmdResult {
+    let trace = args.require("trace")?;
+    let plan_path = args.require("plan")?;
+    let rc = args.f64_or("rc", 10.0)?;
+    let hour = args.u32_or("hour", 10)?;
+    args.finish()?;
+
+    let dataset = load_trace(&trace)?;
+    let reference = dataset.region_field(region(), Channel::Light, hour, 101)?;
+    let grid = GridSpec::new(region(), 101, 101)?;
+    let positions = read_positions_csv(&plan_path)?;
+    println!("{} nodes loaded from {plan_path}", positions.len());
+    let report = analyze_deployment(&reference, &positions, rc, &grid)?;
+    print_report(&report);
+    Ok(())
+}
+
+fn print_report(report: &cps_core::DeploymentReport) {
+    println!("--- deployment report ---");
+    println!(
+        "delta {:.1}   rms {:.2}   connected {}",
+        report.evaluation.delta, report.evaluation.rms, report.evaluation.connected
+    );
+    println!(
+        "articulation points {} ({:.0}% of nodes)   network diameter {}",
+        report.articulation_points.len(),
+        100.0 * report.criticality,
+        report
+            .network_diameter
+            .map_or("n/a".to_string(), |d| format!("{d:.1} m")),
+    );
+    println!(
+        "coverage per node: mean {:.1} m2, min {:.1}, max {:.1} (imbalance {:.1}x)",
+        report.coverage.mean,
+        report.coverage.min,
+        report.coverage.max,
+        report.coverage_imbalance()
+    );
+}
+
+/// Reads an `x,y` CSV (with or without header) into positions.
+///
+/// # Errors
+///
+/// I/O failures and malformed rows.
+pub fn read_positions_csv(path: &str) -> Result<Vec<Point2>, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 && line.trim() == "x,y" {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let x: f64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing x", i + 1))?
+            .trim()
+            .parse()?;
+        let y: f64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing y", i + 1))?
+            .trim()
+            .parse()?;
+        out.push(Point2::new(x, y));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_csv_round_trip() {
+        let dir = std::env::temp_dir().join("cps_cli_test_positions.csv");
+        fs::write(&dir, "x,y\n1.5,2.5\n\n3.0,4.0\n").unwrap();
+        let pts = read_positions_csv(dir.to_str().unwrap()).unwrap();
+        assert_eq!(pts, vec![Point2::new(1.5, 2.5), Point2::new(3.0, 4.0)]);
+        fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn positions_csv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("cps_cli_test_garbage.csv");
+        fs::write(&dir, "x,y\nnot,numbers\n").unwrap();
+        assert!(read_positions_csv(dir.to_str().unwrap()).is_err());
+        fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for cmd in ["generate", "surface", "plan", "simulate", "report"] {
+            assert!(USAGE.contains(cmd), "usage must document {cmd}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Library surface of the `cps` command-line tool (separated from the
+//! binary so the argument parser and command plumbing are testable).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,41 @@
+//! `cps` — command-line front end for the CPS distribution library.
+
+use std::process::ExitCode;
+
+use cps_cli::args::Args;
+use cps_cli::commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command() {
+        "generate" => commands::generate(&parsed),
+        "surface" => commands::surface(&parsed),
+        "plan" => commands::plan(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "report" => commands::report(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

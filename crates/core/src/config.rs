@@ -1,0 +1,182 @@
+//! Shared node-capability configuration.
+
+use crate::CoreError;
+
+/// Physical capabilities of a CPS node, shared by both problems
+/// (Section 3.1 of the paper: communication radius `Rc`, sensing radius
+/// `Rs`, speed `v`) plus the CMA force-balance weight `β` (Eqn. 18).
+///
+/// Built with a validating builder:
+///
+/// ```
+/// use cps_core::CpsConfig;
+///
+/// // The paper's simulation setting (Section 6.1).
+/// let cfg = CpsConfig::builder()
+///     .comm_radius(10.0)
+///     .sensing_radius(5.0)
+///     .max_speed(1.0)
+///     .beta(2.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.comm_radius(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpsConfig {
+    comm_radius: f64,
+    sensing_radius: f64,
+    max_speed: f64,
+    beta: f64,
+}
+
+impl CpsConfig {
+    /// Starts a builder with the paper's defaults: `Rc = 10`, `Rs = 5`,
+    /// `v = 1`, `β = 2`.
+    pub fn builder() -> CpsConfigBuilder {
+        CpsConfigBuilder::default()
+    }
+
+    /// Communication radius `Rc`.
+    #[inline]
+    pub fn comm_radius(&self) -> f64 {
+        self.comm_radius
+    }
+
+    /// Sensing radius `Rs`.
+    #[inline]
+    pub fn sensing_radius(&self) -> f64 {
+        self.sensing_radius
+    }
+
+    /// Maximum node speed `v` (region units per time unit).
+    #[inline]
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    /// Repulsion weight `β` in `Fs = Fa + β·Fr`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Default for CpsConfig {
+    /// The paper's simulation setting (Section 6.1).
+    fn default() -> Self {
+        CpsConfig {
+            comm_radius: 10.0,
+            sensing_radius: 5.0,
+            max_speed: 1.0,
+            beta: 2.0,
+        }
+    }
+}
+
+/// Builder for [`CpsConfig`]; all parameters validated at
+/// [`CpsConfigBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct CpsConfigBuilder {
+    cfg: CpsConfig,
+}
+
+impl CpsConfigBuilder {
+    /// Sets the communication radius `Rc` (must be positive, finite).
+    pub fn comm_radius(&mut self, rc: f64) -> &mut Self {
+        self.cfg.comm_radius = rc;
+        self
+    }
+
+    /// Sets the sensing radius `Rs` (must be positive, finite).
+    pub fn sensing_radius(&mut self, rs: f64) -> &mut Self {
+        self.cfg.sensing_radius = rs;
+        self
+    }
+
+    /// Sets the maximum speed `v` (must be positive, finite).
+    pub fn max_speed(&mut self, v: f64) -> &mut Self {
+        self.cfg.max_speed = v;
+        self
+    }
+
+    /// Sets the repulsion weight `β` (must be non-negative, finite).
+    pub fn beta(&mut self, beta: f64) -> &mut Self {
+        self.cfg.beta = beta;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the first
+    /// offending parameter.
+    pub fn build(&self) -> Result<CpsConfig, CoreError> {
+        let c = self.cfg;
+        if !(c.comm_radius > 0.0) || !c.comm_radius.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "comm_radius",
+                requirement: "must be positive and finite",
+            });
+        }
+        if !(c.sensing_radius > 0.0) || !c.sensing_radius.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "sensing_radius",
+                requirement: "must be positive and finite",
+            });
+        }
+        if !(c.max_speed > 0.0) || !c.max_speed.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "max_speed",
+                requirement: "must be positive and finite",
+            });
+        }
+        if c.beta < 0.0 || !c.beta.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "beta",
+                requirement: "must be non-negative and finite",
+            });
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CpsConfig::default();
+        assert_eq!(c.comm_radius(), 10.0);
+        assert_eq!(c.sensing_radius(), 5.0);
+        assert_eq!(c.max_speed(), 1.0);
+        assert_eq!(c.beta(), 2.0);
+        assert_eq!(CpsConfig::builder().build().unwrap(), c);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = CpsConfig::builder()
+            .comm_radius(30.0)
+            .sensing_radius(8.0)
+            .max_speed(2.0)
+            .beta(0.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.comm_radius(), 30.0);
+        assert_eq!(c.sensing_radius(), 8.0);
+        assert_eq!(c.max_speed(), 2.0);
+        assert_eq!(c.beta(), 0.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(CpsConfig::builder().comm_radius(0.0).build().is_err());
+        assert!(CpsConfig::builder().comm_radius(f64::NAN).build().is_err());
+        assert!(CpsConfig::builder().sensing_radius(-1.0).build().is_err());
+        assert!(CpsConfig::builder().max_speed(0.0).build().is_err());
+        assert!(CpsConfig::builder().beta(-0.1).build().is_err());
+        assert!(CpsConfig::builder().beta(f64::INFINITY).build().is_err());
+    }
+}

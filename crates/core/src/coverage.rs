@@ -1,0 +1,110 @@
+//! Sensing-coverage analysis.
+//!
+//! The paper explains Fig. 7's flattening by coverage saturation: "the
+//! total coverage of these nodes are almost fully cover the region"
+//! once `k ≥ 125` at `Rs = 5`. This module quantifies that: the
+//! fraction of the region within sensing range of at least one node,
+//! and the `k`-coverage profile.
+
+use cps_geometry::{GridSpec, Point2};
+
+/// Fraction of the grid's region within `sensing_radius` of at least
+/// one node (1.0 = full sensing coverage).
+///
+/// # Example
+///
+/// ```
+/// use cps_core::sensing_coverage;
+/// use cps_geometry::{GridSpec, Point2, Rect};
+///
+/// let region = Rect::square(10.0).unwrap();
+/// let grid = GridSpec::new(region, 21, 21).unwrap();
+/// // One node in the centre with Rs = 20 covers everything.
+/// let full = sensing_coverage(&[Point2::new(5.0, 5.0)], 20.0, &grid);
+/// assert_eq!(full, 1.0);
+/// let partial = sensing_coverage(&[Point2::new(5.0, 5.0)], 2.0, &grid);
+/// assert!(partial > 0.0 && partial < 0.5);
+/// ```
+pub fn sensing_coverage(positions: &[Point2], sensing_radius: f64, grid: &GridSpec) -> f64 {
+    if grid.len() == 0 {
+        return 0.0;
+    }
+    let r2 = sensing_radius * sensing_radius;
+    let covered = grid
+        .iter()
+        .filter(|&(_, _, p)| positions.iter().any(|n| n.distance_squared(p) <= r2))
+        .count();
+    covered as f64 / grid.len() as f64
+}
+
+/// The coverage-multiplicity histogram: `result[c]` is the fraction of
+/// the region sensed by exactly `c` nodes, for `c` in
+/// `0..=max_multiplicity` (the last bucket absorbs higher counts).
+pub fn coverage_histogram(
+    positions: &[Point2],
+    sensing_radius: f64,
+    grid: &GridSpec,
+    max_multiplicity: usize,
+) -> Vec<f64> {
+    let mut buckets = vec![0usize; max_multiplicity + 1];
+    let r2 = sensing_radius * sensing_radius;
+    for (_, _, p) in grid.iter() {
+        let c = positions
+            .iter()
+            .filter(|n| n.distance_squared(p) <= r2)
+            .count()
+            .min(max_multiplicity);
+        buckets[c] += 1;
+    }
+    let total = grid.len() as f64;
+    buckets.into_iter().map(|b| b as f64 / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_geometry::Rect;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(Rect::square(100.0).unwrap(), 51, 51).unwrap()
+    }
+
+    #[test]
+    fn no_nodes_no_coverage() {
+        assert_eq!(sensing_coverage(&[], 5.0, &grid()), 0.0);
+        let h = coverage_histogram(&[], 5.0, &grid(), 3);
+        assert_eq!(h[0], 1.0);
+    }
+
+    #[test]
+    fn coverage_grows_with_node_count_and_radius() {
+        let few = crate::osd::baselines::uniform_grid_deployment(grid().rect(), 9);
+        let many = crate::osd::baselines::uniform_grid_deployment(grid().rect(), 100);
+        let c_few = sensing_coverage(&few, 5.0, &grid());
+        let c_many = sensing_coverage(&many, 5.0, &grid());
+        assert!(c_few < c_many);
+        let c_bigger_radius = sensing_coverage(&few, 15.0, &grid());
+        assert!(c_bigger_radius > c_few);
+    }
+
+    #[test]
+    fn the_papers_saturation_point_holds() {
+        // ~127 nodes at Rs = 5 m: π·25·127 ≈ 10 000 m² — the paper's
+        // "almost fully cover" claim. A uniform layout of 121 nodes
+        // covers most of the region.
+        let nodes = crate::osd::baselines::uniform_grid_deployment(grid().rect(), 121);
+        let c = sensing_coverage(&nodes, 5.0, &grid());
+        assert!(c > 0.8, "coverage only {c}");
+    }
+
+    #[test]
+    fn histogram_sums_to_one_and_caps_multiplicity() {
+        let nodes = crate::osd::baselines::uniform_grid_deployment(grid().rect(), 49);
+        let h = coverage_histogram(&nodes, 12.0, &grid(), 4);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(h.len(), 5);
+        // With Rs larger than half the spacing, overlap exists.
+        assert!(h[0] < 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the distribution algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the distribution algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+    /// The node budget `k` is too small for the requested operation.
+    BudgetTooSmall {
+        /// Requested budget.
+        k: usize,
+        /// Minimum budget required.
+        minimum: usize,
+    },
+    /// Too few samples for the least-squares quadric fit (needs ≥ 3).
+    TooFewSamplesForFit {
+        /// Samples available.
+        count: usize,
+    },
+    /// The quadric fit was degenerate (e.g. all samples collinear).
+    DegenerateFit,
+    /// An underlying field operation failed.
+    Field(cps_field::FieldError),
+    /// An underlying geometric operation failed.
+    Geometry(cps_geometry::GeometryError),
+    /// An underlying network operation failed.
+    Network(cps_network::NetworkError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter {name}: {requirement}")
+            }
+            CoreError::BudgetTooSmall { k, minimum } => {
+                write!(f, "node budget {k} is below the minimum {minimum}")
+            }
+            CoreError::TooFewSamplesForFit { count } => {
+                write!(f, "quadric fit needs at least 3 samples, got {count}")
+            }
+            CoreError::DegenerateFit => write!(f, "quadric fit was degenerate"),
+            CoreError::Field(e) => write!(f, "field error: {e}"),
+            CoreError::Geometry(e) => write!(f, "geometry error: {e}"),
+            CoreError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Field(e) => Some(e),
+            CoreError::Geometry(e) => Some(e),
+            CoreError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cps_field::FieldError> for CoreError {
+    fn from(e: cps_field::FieldError) -> Self {
+        CoreError::Field(e)
+    }
+}
+
+impl From<cps_geometry::GeometryError> for CoreError {
+    fn from(e: cps_geometry::GeometryError) -> Self {
+        CoreError::Geometry(e)
+    }
+}
+
+impl From<cps_network::NetworkError> for CoreError {
+    fn from(e: cps_network::NetworkError) -> Self {
+        CoreError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::BudgetTooSmall { k: 2, minimum: 4 };
+        assert!(e.to_string().contains("budget 2"));
+        let f: CoreError = cps_field::FieldError::NonFiniteValue.into();
+        assert!(Error::source(&f).is_some());
+        let g: CoreError = cps_geometry::GeometryError::EmptyGrid.into();
+        assert!(g.to_string().contains("geometry"));
+        let n: CoreError = cps_network::NetworkError::InvalidRadius.into();
+        assert!(n.to_string().contains("network"));
+    }
+}

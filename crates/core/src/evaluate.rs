@@ -1,0 +1,135 @@
+//! Deployment evaluation: reconstruct from the node samples and measure
+//! the paper's δ against the reference surface.
+
+use cps_field::{delta, Field, ReconstructedSurface};
+use cps_geometry::{GridSpec, Point2};
+use cps_network::UnitDiskGraph;
+
+use crate::CoreError;
+
+/// Quality report for a node deployment against a reference field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentEvaluation {
+    /// The paper's δ: `∬ |f − DT| dA` (Eqn. 2).
+    pub delta: f64,
+    /// Root-mean-square pointwise error (secondary metric).
+    pub rms: f64,
+    /// Whether the deployment's unit-disk graph is connected — the
+    /// feasibility constraint of Definitions 3.1/3.2.
+    pub connected: bool,
+    /// Number of nodes evaluated.
+    pub node_count: usize,
+}
+
+/// Samples `reference` at the node positions, rebuilds the surface
+/// `z* = DT(x, y)`, and measures δ over `grid`, along with the
+/// connectivity of the communication graph at `comm_radius`.
+///
+/// # Errors
+///
+/// * [`CoreError::Field`] — fewer than 3 distinct positions, a position
+///   outside the grid's region, or non-finite values.
+/// * [`CoreError::Network`] — invalid communication radius.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::evaluate_deployment;
+/// use cps_field::PlaneField;
+/// use cps_geometry::{GridSpec, Point2, Rect};
+///
+/// let region = Rect::square(10.0).unwrap();
+/// let grid = GridSpec::new(region, 21, 21).unwrap();
+/// let f = PlaneField::new(1.0, 1.0, 0.0);
+/// let nodes: Vec<Point2> = region.corners().to_vec();
+/// let eval = evaluate_deployment(&f, &nodes, 15.0, &grid).unwrap();
+/// assert!(eval.delta < 1e-9); // planes reconstruct exactly
+/// assert!(eval.connected);
+/// ```
+pub fn evaluate_deployment<F: Field>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+) -> Result<DeploymentEvaluation, CoreError> {
+    let samples: Vec<f64> = positions.iter().map(|&p| reference.value(p)).collect();
+    let surface = ReconstructedSurface::from_samples(grid.rect(), positions, &samples)?;
+    let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
+    Ok(DeploymentEvaluation {
+        delta: delta::volume_difference(reference, &surface, grid),
+        rms: delta::rms_difference(reference, &surface, grid),
+        connected: graph.is_connected(),
+        node_count: positions.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_field::PeaksField;
+    use cps_geometry::Rect;
+
+    fn setting() -> (Rect, GridSpec) {
+        let region = Rect::square(100.0).unwrap();
+        (region, GridSpec::new(region, 41, 41).unwrap())
+    }
+
+    #[test]
+    fn plane_reconstructs_exactly() {
+        let (region, grid) = setting();
+        let f = cps_field::PlaneField::new(0.5, -0.3, 2.0);
+        let nodes: Vec<Point2> = region.corners().to_vec();
+        let e = evaluate_deployment(&f, &nodes, 150.0, &grid).unwrap();
+        assert!(e.delta < 1e-9);
+        assert!(e.rms < 1e-12);
+        assert!(e.connected);
+        assert_eq!(e.node_count, 4);
+    }
+
+    #[test]
+    fn more_nodes_reduce_delta_on_peaks() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        // 3×3 vs 7×7 uniform grids of nodes.
+        let mk = |n: usize| -> Vec<Point2> {
+            let mut v = Vec::new();
+            for j in 0..n {
+                for i in 0..n {
+                    v.push(Point2::new(
+                        100.0 * i as f64 / (n - 1) as f64,
+                        100.0 * j as f64 / (n - 1) as f64,
+                    ));
+                }
+            }
+            v
+        };
+        let coarse = evaluate_deployment(&f, &mk(3), 200.0, &grid).unwrap();
+        let fine = evaluate_deployment(&f, &mk(7), 200.0, &grid).unwrap();
+        assert!(fine.delta < coarse.delta);
+        assert!(fine.rms < coarse.rms);
+    }
+
+    #[test]
+    fn disconnected_deployment_is_flagged() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let nodes = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(99.0, 99.0),
+        ];
+        let e = evaluate_deployment(&f, &nodes, 5.0, &grid).unwrap();
+        assert!(!e.connected);
+    }
+
+    #[test]
+    fn too_few_nodes_error() {
+        let (_, grid) = setting();
+        let f = PeaksField::new(grid.rect(), 8.0);
+        let nodes = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)];
+        assert!(matches!(
+            evaluate_deployment(&f, &nodes, 5.0, &grid),
+            Err(CoreError::Field(_))
+        ));
+    }
+}

@@ -1,0 +1,402 @@
+//! The foresighted refinement algorithm (FRA, Table 1 of the paper).
+//!
+//! FRA is a coarse-to-fine process: starting from the region split into
+//! two triangles along the diagonal (the four corner positions serve as
+//! historical-data scaffolding), it repeatedly
+//!
+//! 1. **foresees** connectivity: counts the connected subgraphs of the
+//!    nodes chosen so far and the least number `L(G, Rc)` of relay
+//!    nodes that would stitch them together; when the remaining budget
+//!    hits that number, it spends the rest of the budget on the relay
+//!    positions `P(G, k−i)` and stops (Table 1 lines 5–8);
+//! 2. **refines**: selects the unused position with the maximum local
+//!    error (line 9);
+//! 3. **retriangulates** by Delaunay rules and updates local errors
+//!    where new triangles appeared (lines 10–11).
+//!
+//! Unlike the paper's pseudocode, no phantom corner anchors are kept in
+//! the internal surface: the refinement error is measured against the
+//! *same* reconstruction the deployment will be judged by (Delaunay
+//! interpolation inside the sample hull, nearest-sample extrapolation
+//! outside). Anchoring corners whose values no deployed node actually
+//! samples makes the greedy systematically blind to border error; see
+//! DESIGN.md for the measurement that motivated the change.
+
+use cps_field::Field;
+use cps_geometry::{GridSpec, Point2, Triangulation};
+use cps_network::{RelayPlan, UnitDiskGraph};
+
+use super::local_error::LocalErrorGrid;
+use crate::CoreError;
+
+/// Output of a FRA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FraResult {
+    /// The `k` node positions, refinement picks first, relays last.
+    pub positions: Vec<Point2>,
+    /// How many positions were chosen by error refinement.
+    pub refined: usize,
+    /// How many positions were spent on connectivity relays.
+    pub relays: usize,
+}
+
+/// Builder for a FRA run.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::osd::FraBuilder;
+/// use cps_field::PeaksField;
+/// use cps_geometry::{GridSpec, Rect};
+///
+/// let region = Rect::square(100.0).unwrap();
+/// let reference = PeaksField::new(region, 8.0);
+/// let result = FraBuilder::new(20, 10.0)
+///     .grid(GridSpec::new(region, 51, 51).unwrap())
+///     .run(&reference)
+///     .unwrap();
+/// assert_eq!(result.positions.len(), 20);
+/// assert_eq!(result.refined + result.relays, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FraBuilder {
+    k: usize,
+    comm_radius: f64,
+    grid: Option<GridSpec>,
+}
+
+impl FraBuilder {
+    /// Creates a builder for `k` nodes with communication radius
+    /// `comm_radius`.
+    pub fn new(k: usize, comm_radius: f64) -> Self {
+        FraBuilder {
+            k,
+            comm_radius,
+            grid: None,
+        }
+    }
+
+    /// Sets the candidate grid (the paper's `√A × √A` positions; also
+    /// defines the region of interest). Required.
+    pub fn grid(mut self, grid: GridSpec) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Runs FRA against the historical reference surface.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] — no grid was supplied, or the
+    ///   communication radius is not positive/finite.
+    /// * [`CoreError::BudgetTooSmall`] — `k == 0`.
+    /// * Propagated geometry/network errors (not expected for valid
+    ///   inputs).
+    pub fn run<F: Field>(&self, reference: &F) -> Result<FraResult, CoreError> {
+        let grid = self.grid.ok_or(CoreError::InvalidParameter {
+            name: "grid",
+            requirement: "a candidate grid must be supplied via FraBuilder::grid",
+        })?;
+        if !(self.comm_radius > 0.0) || !self.comm_radius.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "comm_radius",
+                requirement: "must be positive and finite",
+            });
+        }
+        if self.k == 0 {
+            return Err(CoreError::BudgetTooSmall { k: 0, minimum: 1 });
+        }
+        let rect = grid.rect();
+
+        // The evolving reconstruction surface (empty at first: the
+        // initial "approximation" is the nearest-sample extrapolation
+        // of whatever has been chosen so far).
+        let mut dt = Triangulation::new(rect);
+        let mut zs: Vec<f64> = Vec::new();
+
+        // Lines 2–3: the full local-error array.
+        let mut errors = LocalErrorGrid::new(grid, reference, &dt, &zs);
+
+        let mut chosen: Vec<Point2> = Vec::with_capacity(self.k);
+        let mut refined = 0usize;
+        let mut relays = 0usize;
+
+        loop {
+            let remaining = self.k - chosen.len();
+            if remaining == 0 {
+                break;
+            }
+
+            // Foresight (lines 5–8): how many relays would connecting
+            // the current deployment cost?
+            let plan = if chosen.len() >= 2 {
+                let graph = UnitDiskGraph::new(chosen.clone(), self.comm_radius)?;
+                RelayPlan::for_graph(&graph)
+            } else {
+                RelayPlan::default()
+            };
+            debug_assert!(
+                plan.relay_count() <= remaining,
+                "foresight invariant violated: need {} relays with {} remaining",
+                plan.relay_count(),
+                remaining
+            );
+            if plan.relay_count() == remaining && remaining > 0 {
+                // Spend the rest of the budget on the relay positions
+                // P(G, k−i).
+                for &r in plan.relays() {
+                    if chosen.iter().all(|c| c.distance(r) > 1e-9) {
+                        chosen.push(r);
+                        relays += 1;
+                    }
+                }
+                // Defensive: if deduplication dropped relays, fill with
+                // best remaining error positions so the budget is met.
+                while chosen.len() < self.k {
+                    let (p, _) = errors
+                        .argmax(&[])
+                        .expect("grid has more positions than any realistic k");
+                    errors.mark_used(p);
+                    if chosen.iter().all(|c| c.distance(p) > 1e-9) {
+                        chosen.push(p);
+                        refined += 1;
+                    }
+                }
+                break;
+            }
+
+            // Refinement (line 9): the max-local-error position that
+            // keeps the foresight invariant satisfiable.
+            let budget_after = remaining - 1;
+            let mut rejected: Vec<usize> = Vec::new();
+            let picked = loop {
+                let Some((candidate, _err)) = errors.argmax(&rejected) else {
+                    break None;
+                };
+                if chosen.iter().any(|c| c.distance(candidate) <= 1e-9) {
+                    errors.mark_used(candidate);
+                    rejected.push(errors.flat_index_of(candidate));
+                    continue;
+                }
+                // Would accepting this candidate still leave enough
+                // budget to connect everything?
+                let mut with_candidate = chosen.clone();
+                with_candidate.push(candidate);
+                let need = if with_candidate.len() >= 2 {
+                    let g = UnitDiskGraph::new(with_candidate, self.comm_radius)?;
+                    RelayPlan::for_graph(&g).relay_count()
+                } else {
+                    0
+                };
+                if need <= budget_after {
+                    break Some(candidate);
+                }
+                rejected.push(errors.flat_index_of(candidate));
+            };
+
+            match picked {
+                Some(p) => {
+                    // Lines 9–11: select, retriangulate, update errors.
+                    errors.mark_used(p);
+                    chosen.push(p);
+                    refined += 1;
+                    // A vertex that grows the sample hull (or an early
+                    // vertex, while extrapolation still dominates)
+                    // changes the surface far beyond the Delaunay
+                    // cavity, so the whole error grid is refreshed;
+                    // interior vertices only dirty the cavity plus a
+                    // margin where the nearest-sample may have changed.
+                    let hull_grows = dt.vertex_count() < 3 || dt.locate(p).is_none();
+                    let margin = dt
+                        .nearest_vertex(p)
+                        .map(|id| 2.0 * dt.vertex(id).distance(p))
+                        .unwrap_or(0.0);
+                    dt.insert(p)?;
+                    zs.push(reference.value(p));
+                    if hull_grows {
+                        errors.recompute_region(rect.min(), rect.max(), reference, &dt, &zs);
+                    } else if let Some((lo, hi)) = dt.last_insert_bbox() {
+                        errors.recompute_region(
+                            Point2::new(lo.x - margin, lo.y - margin),
+                            Point2::new(hi.x + margin, hi.y + margin),
+                            reference,
+                            &dt,
+                            &zs,
+                        );
+                    }
+                }
+                None => {
+                    // No candidate fits the budget: connect what exists
+                    // now (need < remaining is guaranteed), then keep
+                    // refining with the connected network.
+                    for &r in plan.relays() {
+                        if chosen.len() < self.k
+                            && chosen.iter().all(|c| c.distance(r) > 1e-9)
+                        {
+                            chosen.push(r);
+                            relays += 1;
+                        }
+                    }
+                    if plan.relay_count() == 0 {
+                        // Nothing to connect and nothing selectable:
+                        // the grid is exhausted (k larger than the
+                        // grid). Give up gracefully.
+                        return Err(CoreError::BudgetTooSmall {
+                            k: self.k,
+                            minimum: chosen.len(),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(FraResult {
+            positions: chosen,
+            refined,
+            relays,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_deployment;
+    use cps_field::{GaussianBlob, GaussianMixtureField, PeaksField};
+    use cps_geometry::Rect;
+
+    fn region() -> Rect {
+        Rect::square(100.0).unwrap()
+    }
+
+    fn grid() -> GridSpec {
+        GridSpec::new(region(), 51, 51).unwrap()
+    }
+
+    fn peaks() -> PeaksField {
+        PeaksField::new(region(), 8.0)
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            FraBuilder::new(10, 10.0).run(&peaks()),
+            Err(CoreError::InvalidParameter { name: "grid", .. })
+        ));
+        assert!(matches!(
+            FraBuilder::new(10, 0.0).grid(grid()).run(&peaks()),
+            Err(CoreError::InvalidParameter {
+                name: "comm_radius",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FraBuilder::new(0, 10.0).grid(grid()).run(&peaks()),
+            Err(CoreError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn produces_exactly_k_connected_nodes() {
+        for k in [1, 2, 5, 12, 30] {
+            let r = FraBuilder::new(k, 10.0).grid(grid()).run(&peaks()).unwrap();
+            assert_eq!(r.positions.len(), k, "k = {k}");
+            assert_eq!(r.refined + r.relays, k);
+            let g = UnitDiskGraph::new(r.positions.clone(), 10.0).unwrap();
+            assert!(g.is_connected(), "k = {k} produced a disconnected network");
+            // All positions in the region.
+            assert!(r.positions.iter().all(|p| region().contains(*p)));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_positions() {
+        let r = FraBuilder::new(25, 10.0).grid(grid()).run(&peaks()).unwrap();
+        for i in 0..r.positions.len() {
+            for j in i + 1..r.positions.len() {
+                assert!(
+                    r.positions[i].distance(r.positions[j]) > 1e-9,
+                    "duplicate at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_pick_is_the_hottest_error() {
+        // One sharp blob: the first refinement position must be at it.
+        let f = GaussianMixtureField::new(
+            0.0,
+            vec![GaussianBlob::isotropic(Point2::new(60.0, 40.0), 20.0, 3.0)],
+        );
+        let r = FraBuilder::new(5, 200.0).grid(grid()).run(&f).unwrap();
+        // Generous radius → no relays, pure refinement.
+        assert_eq!(r.relays, 0);
+        assert!(r.positions[0].distance(Point2::new(60.0, 40.0)) <= 2.0 * 2f64.sqrt());
+    }
+
+    #[test]
+    fn large_radius_spends_everything_on_refinement() {
+        let r = FraBuilder::new(20, 1000.0)
+            .grid(grid())
+            .run(&peaks())
+            .unwrap();
+        assert_eq!(r.refined, 20);
+        assert_eq!(r.relays, 0);
+    }
+
+    #[test]
+    fn tight_radius_spends_more_on_relays() {
+        let loose = FraBuilder::new(30, 25.0).grid(grid()).run(&peaks()).unwrap();
+        let tight = FraBuilder::new(30, 8.0).grid(grid()).run(&peaks()).unwrap();
+        assert!(
+            tight.relays >= loose.relays,
+            "tight {} vs loose {}",
+            tight.relays,
+            loose.relays
+        );
+    }
+
+    #[test]
+    fn fra_beats_random_when_connectivity_is_loose() {
+        // At Rc = 30 no budget is lost to relays: pure refinement must
+        // beat a random scattering decisively (the Fig. 7 claim).
+        use rand::{rngs::StdRng, SeedableRng};
+        let f = peaks();
+        let g = grid();
+        let fra = FraBuilder::new(40, 30.0).grid(g).run(&f).unwrap();
+        let fra_eval = evaluate_deployment(&f, &fra.positions, 30.0, &g).unwrap();
+        assert!(fra_eval.connected);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rand_eval = {
+            let pts = crate::osd::baselines::random_deployment(region(), 40, &mut rng);
+            evaluate_deployment(&f, &pts, 30.0, &g).unwrap()
+        };
+        assert!(
+            fra_eval.delta < 0.7 * rand_eval.delta,
+            "fra {} vs random {}",
+            fra_eval.delta,
+            rand_eval.delta
+        );
+    }
+
+    #[test]
+    fn fra_beats_worst_case_even_under_tight_connectivity() {
+        // At Rc = 10 much of the budget goes to relays on this
+        // sharp-featured surface, but FRA must still beat the trivial
+        // 4-corner deployment.
+        let f = peaks();
+        let g = grid();
+        let fra = FraBuilder::new(40, 10.0).grid(g).run(&f).unwrap();
+        let fra_eval = evaluate_deployment(&f, &fra.positions, 10.0, &g).unwrap();
+        let corners_eval =
+            evaluate_deployment(&f, &region().corners(), 1000.0, &g).unwrap();
+        assert!(fra_eval.connected);
+        assert!(
+            fra_eval.delta < corners_eval.delta,
+            "fra {} vs corners {}",
+            fra_eval.delta,
+            corners_eval.delta
+        );
+    }
+}

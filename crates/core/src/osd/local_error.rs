@@ -1,0 +1,212 @@
+//! The local-error array driving FRA's refinement choice.
+//!
+//! The paper adopts Garland & Heckbert's *local error* measure: for each
+//! candidate position, the vertical distance between the reference
+//! surface and the current triangulated approximation,
+//! `Err[i][j] = |f(xᵢ, yⱼ) − DT(xᵢ, yⱼ)|` (Table 1 lines 2–3), updated
+//! after every insertion only where new triangles appeared (line 11).
+
+use cps_field::Field;
+use cps_geometry::{GridSpec, Point2, Triangulation};
+
+/// The error grid `Err[√A][√A]` of FRA, with used-position tracking.
+#[derive(Debug, Clone)]
+pub struct LocalErrorGrid {
+    grid: GridSpec,
+    errors: Vec<f64>,
+    used: Vec<bool>,
+}
+
+impl LocalErrorGrid {
+    /// Builds the grid and computes every local error against the
+    /// current triangulated surface.
+    ///
+    /// `samples[i]` is the surface value at the triangulation's
+    /// `VertexId(i)`.
+    pub fn new<F: Field>(
+        grid: GridSpec,
+        field: &F,
+        dt: &Triangulation,
+        samples: &[f64],
+    ) -> Self {
+        let mut this = LocalErrorGrid {
+            grid,
+            errors: vec![0.0; grid.len()],
+            used: vec![false; grid.len()],
+        };
+        this.recompute_region(grid.rect().min(), grid.rect().max(), field, dt, samples);
+        this
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Current error at grid point `(i, j)`.
+    pub fn error_at(&self, i: usize, j: usize) -> f64 {
+        self.errors[self.grid.flat_index(i, j)]
+    }
+
+    /// Marks the grid point nearest `p` as used (it can no longer be
+    /// selected).
+    pub fn mark_used(&mut self, p: Point2) {
+        let (i, j) = self.grid.nearest_index(p);
+        self.used[self.grid.flat_index(i, j)] = true;
+    }
+
+    /// Whether the grid point nearest `p` is already used.
+    pub fn is_used(&self, p: Point2) -> bool {
+        let (i, j) = self.grid.nearest_index(p);
+        self.used[self.grid.flat_index(i, j)]
+    }
+
+    /// Recomputes local errors for every grid point inside the
+    /// axis-aligned box `[lo, hi]` (clipped to the grid), against the
+    /// given surface.
+    pub fn recompute_region<F: Field>(
+        &mut self,
+        lo: Point2,
+        hi: Point2,
+        field: &F,
+        dt: &Triangulation,
+        samples: &[f64],
+    ) {
+        let g = self.grid;
+        // Clip to grid indices, expanding outward so every point inside
+        // (or on the edge of) the rect is covered; recomputing a ring of
+        // extra points is harmless.
+        let fi0 = ((lo.x - g.rect().min().x) / g.dx()).floor();
+        let fj0 = ((lo.y - g.rect().min().y) / g.dy()).floor();
+        let fi1 = ((hi.x - g.rect().min().x) / g.dx()).ceil();
+        let fj1 = ((hi.y - g.rect().min().y) / g.dy()).ceil();
+        let i0 = fi0.clamp(0.0, (g.nx() - 1) as f64) as usize;
+        let j0 = fj0.clamp(0.0, (g.ny() - 1) as f64) as usize;
+        let i1 = fi1.clamp(0.0, (g.nx() - 1) as f64) as usize;
+        let j1 = fj1.clamp(0.0, (g.ny() - 1) as f64) as usize;
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let p = g.point(i, j);
+                let approx = dt.interpolate(p, samples).unwrap_or_else(|| {
+                    // Outside the hull of inserted vertices (possible
+                    // before the scaffold corners exist): nearest value.
+                    dt.nearest_vertex(p)
+                        .map(|id| samples[id.0])
+                        .unwrap_or(0.0)
+                });
+                self.errors[g.flat_index(i, j)] = (field.value(p) - approx).abs();
+            }
+        }
+    }
+
+    /// The unused grid point with the largest local error, skipping the
+    /// flat indices listed in `rejected`. Returns `None` when every
+    /// position is used or rejected.
+    pub fn argmax(&self, rejected: &[usize]) -> Option<(Point2, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for idx in 0..self.errors.len() {
+            if self.used[idx] || rejected.contains(&idx) {
+                continue;
+            }
+            let e = self.errors[idx];
+            if best.map_or(true, |(_, be)| e > be) {
+                best = Some((idx, e));
+            }
+        }
+        best.map(|(idx, e)| {
+            let i = idx % self.grid.nx();
+            let j = idx / self.grid.nx();
+            (self.grid.point(i, j), e)
+        })
+    }
+
+    /// Flat index of the grid point nearest `p` (for rejection lists).
+    pub fn flat_index_of(&self, p: Point2) -> usize {
+        let (i, j) = self.grid.nearest_index(p);
+        self.grid.flat_index(i, j)
+    }
+
+    /// Sum of all current local errors (a cheap convergence indicator).
+    pub fn total_error(&self) -> f64 {
+        self.errors.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_field::{GaussianBlob, PlaneField};
+    use cps_geometry::Rect;
+
+    fn setup<F: Field>(field: &F) -> (GridSpec, Triangulation, Vec<f64>) {
+        let rect = Rect::square(10.0).unwrap();
+        let grid = GridSpec::new(rect, 11, 11).unwrap();
+        let mut dt = Triangulation::new(rect);
+        let mut zs = Vec::new();
+        for c in rect.corners() {
+            dt.insert(c).unwrap();
+            zs.push(field.value(c));
+        }
+        (grid, dt, zs)
+    }
+
+    #[test]
+    fn plane_has_zero_error_everywhere() {
+        let f = PlaneField::new(1.0, -2.0, 3.0);
+        let (grid, dt, zs) = setup(&f);
+        let errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        assert!(errs.total_error() < 1e-6);
+        // argmax still returns something (the max of zeros).
+        assert!(errs.argmax(&[]).is_some());
+    }
+
+    #[test]
+    fn blob_error_peaks_at_blob_center() {
+        let f = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 10.0, 1.5);
+        let (grid, dt, zs) = setup(&f);
+        let errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        let (p, e) = errs.argmax(&[]).unwrap();
+        assert_eq!(p, Point2::new(5.0, 5.0));
+        assert!((e - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mark_used_excludes_position() {
+        let f = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 10.0, 1.5);
+        let (grid, dt, zs) = setup(&f);
+        let mut errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        let (p1, _) = errs.argmax(&[]).unwrap();
+        errs.mark_used(p1);
+        assert!(errs.is_used(p1));
+        let (p2, _) = errs.argmax(&[]).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn rejection_list_is_honoured() {
+        let f = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 10.0, 1.5);
+        let (grid, dt, zs) = setup(&f);
+        let errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        let (p1, _) = errs.argmax(&[]).unwrap();
+        let rejected = vec![errs.flat_index_of(p1)];
+        let (p2, _) = errs.argmax(&rejected).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn insertion_update_reduces_local_error() {
+        let f = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 10.0, 1.5);
+        let (grid, mut dt, mut zs) = setup(&f);
+        let mut errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        let before = errs.error_at(5, 5);
+        // Insert the blob centre and update the dirtied area.
+        let center = Point2::new(5.0, 5.0);
+        dt.insert(center).unwrap();
+        zs.push(f.value(center));
+        let (lo, hi) = dt.last_insert_bbox().unwrap();
+        errs.recompute_region(lo, hi, &f, &dt, &zs);
+        let after = errs.error_at(5, 5);
+        assert!(after < before);
+        assert!(after < 1e-9);
+    }
+}

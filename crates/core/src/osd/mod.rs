@@ -1,0 +1,16 @@
+//! OSD: spatial distribution of stationary nodes (Section 4 of the
+//! paper).
+//!
+//! The problem is NP-hard (Theorem 4.1, by reduction from surface
+//! approximation); [`FraBuilder`] runs the paper's foresighted
+//! refinement algorithm (Table 1), and [`baselines`] provides the
+//! random deployment the paper compares against (Fig. 7) plus the
+//! uniform grid of Fig. 3(b).
+
+pub mod baselines;
+
+mod fra;
+mod local_error;
+
+pub use fra::{FraBuilder, FraResult};
+pub use local_error::LocalErrorGrid;

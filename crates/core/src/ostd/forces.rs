@@ -1,0 +1,168 @@
+//! Virtual forces of the coordinated movement algorithm (Eqns. 14–18).
+//!
+//! Three forces act on node `nᵢ`:
+//!
+//! * `F1 = d(nᵢ, p_c) · G(p_c)` — attraction toward the
+//!   highest-curvature position `p_c` sensed within `Rs` (Eqn. 14);
+//! * `F2 = Σⱼ d(nᵢ, nⱼ) · G(nⱼ)` — attraction toward the pivot that
+//!   balances the curvature weights of the single-hop neighbors
+//!   (Eqn. 15); `F2 → 0` exactly when Eqn. 9's balance holds;
+//! * `Fr = Σⱼ (Rc − d(nᵢ, nⱼ))` directed away from each neighbor —
+//!   repulsion that keeps spacing (Eqn. 17);
+//!
+//! combined as `Fs = F1 + F2 + β·Fr` (Eqn. 18). Curvature weights are
+//! magnitudes (`|G|`): the paper assumes convex surfaces with `G ≥ 0`,
+//! and the magnitude generalizes the leverage to saddle regions.
+
+use cps_geometry::Point2;
+use cps_linalg::Vec2;
+
+/// Attraction `F1` toward the highest-curvature sensed position
+/// (Eqn. 14): the vector from `node` to `peak`, scaled by the peak's
+/// curvature weight.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::ostd::forces::attraction_to_peak;
+/// use cps_geometry::Point2;
+///
+/// let f1 = attraction_to_peak(Point2::new(0.0, 0.0), Point2::new(3.0, 0.0), 2.0);
+/// assert_eq!(f1.x, 6.0); // d · G = 3 · 2, pointing at the peak
+/// assert_eq!(f1.y, 0.0);
+/// ```
+pub fn attraction_to_peak(node: Point2, peak: Point2, peak_curvature: f64) -> Vec2 {
+    (peak - node) * peak_curvature.abs()
+}
+
+/// Attraction `F2` toward the curvature-weight pivot of the single-hop
+/// neighbors (Eqn. 15): `Σⱼ d(nᵢ, nⱼ)·G(nⱼ)`.
+///
+/// Zero exactly when the node balances its neighbors' curvature weights
+/// (Eqn. 9).
+pub fn neighbor_attraction(node: Point2, neighbors: &[(Point2, f64)]) -> Vec2 {
+    neighbors
+        .iter()
+        .map(|&(p, g)| (p - node) * g.abs())
+        .sum()
+}
+
+/// Repulsion `Fr` from the single-hop neighbors (Eqn. 17): each
+/// neighbor at distance `d ≤ rest_distance` pushes with magnitude
+/// `rest_distance − d` directly away from itself; farther neighbors
+/// contribute nothing.
+///
+/// The paper uses `rest_distance = Rc`, which parks every pair exactly
+/// on the connectivity cliff; discrete-time callers pass a slightly
+/// smaller rest distance so the equilibrium keeps a safety margin
+/// inside `Rc` (see [`super::CmaConfig`]).
+///
+/// A coincident neighbor (`d = 0`) has no defined direction and is
+/// skipped; the surrounding simulation treats such overlaps through the
+/// movement noise of its integrator.
+pub fn repulsion(node: Point2, neighbors: &[(Point2, f64)], rest_distance: f64) -> Vec2 {
+    let mut total = Vec2::ZERO;
+    for &(p, _) in neighbors {
+        let away = node - p;
+        let d = away.norm();
+        if d > rest_distance || d <= f64::EPSILON {
+            continue;
+        }
+        total += away.normalized() * (rest_distance - d);
+    }
+    total
+}
+
+/// The resultant `Fs = F1 + F2 + β·Fr` (Eqn. 18).
+pub fn resultant(f1: Vec2, f2: Vec2, fr: Vec2, beta: f64) -> Vec2 {
+    f1 + f2 + fr * beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RC: f64 = 10.0;
+
+    #[test]
+    fn peak_attraction_scales_with_distance_and_curvature() {
+        let n = Point2::new(1.0, 1.0);
+        let f_near = attraction_to_peak(n, Point2::new(2.0, 1.0), 1.0);
+        let f_far = attraction_to_peak(n, Point2::new(5.0, 1.0), 1.0);
+        assert!(f_far.norm() > f_near.norm());
+        let f_hot = attraction_to_peak(n, Point2::new(2.0, 1.0), 5.0);
+        assert!((f_hot.norm() - 5.0 * f_near.norm()).abs() < 1e-12);
+        // Negative curvature (saddle) still attracts by weight.
+        let f_neg = attraction_to_peak(n, Point2::new(2.0, 1.0), -5.0);
+        assert_eq!(f_neg, f_hot);
+    }
+
+    #[test]
+    fn balanced_neighbors_produce_zero_f2() {
+        // Two equal-curvature neighbors symmetric about the node: Eqn. 9
+        // holds, so F2 = 0.
+        let n = Point2::new(0.0, 0.0);
+        let nbrs = [
+            (Point2::new(5.0, 0.0), 2.0),
+            (Point2::new(-5.0, 0.0), 2.0),
+        ];
+        assert!(neighbor_attraction(n, &nbrs).norm() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_neighbors_pull_toward_heavier_side() {
+        let n = Point2::new(0.0, 0.0);
+        let nbrs = [
+            (Point2::new(5.0, 0.0), 3.0), // heavier on +x
+            (Point2::new(-5.0, 0.0), 1.0),
+        ];
+        let f2 = neighbor_attraction(n, &nbrs);
+        assert!(f2.x > 0.0);
+        assert_eq!(f2.y, 0.0);
+    }
+
+    #[test]
+    fn repulsion_grows_as_nodes_close_in() {
+        let n = Point2::new(0.0, 0.0);
+        let near = [(Point2::new(1.0, 0.0), 1.0)];
+        let far = [(Point2::new(9.0, 0.0), 1.0)];
+        let f_near = repulsion(n, &near, RC);
+        let f_far = repulsion(n, &far, RC);
+        assert!(f_near.norm() > f_far.norm());
+        // Pushes away from the neighbor.
+        assert!(f_near.x < 0.0);
+        assert!((f_near.norm() - 9.0).abs() < 1e-12); // Rc − d = 10 − 1
+    }
+
+    #[test]
+    fn repulsion_ignores_out_of_range_and_coincident() {
+        let n = Point2::new(0.0, 0.0);
+        let out = [(Point2::new(11.0, 0.0), 1.0)];
+        assert_eq!(repulsion(n, &out, RC), Vec2::ZERO);
+        let coincident = [(n, 1.0)];
+        assert_eq!(repulsion(n, &coincident, RC), Vec2::ZERO);
+    }
+
+    #[test]
+    fn repulsion_of_symmetric_ring_cancels() {
+        let n = Point2::new(0.0, 0.0);
+        let nbrs: Vec<(Point2, f64)> = (0..6)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / 6.0;
+                (Point2::new(4.0 * a.cos(), 4.0 * a.sin()), 1.0)
+            })
+            .collect();
+        assert!(repulsion(n, &nbrs, RC).norm() < 1e-9);
+    }
+
+    #[test]
+    fn resultant_weights_repulsion_by_beta() {
+        let f1 = Vec2::new(1.0, 0.0);
+        let f2 = Vec2::new(0.0, 1.0);
+        let fr = Vec2::new(-1.0, 0.0);
+        let fs = resultant(f1, f2, fr, 2.0);
+        assert_eq!(fs, Vec2::new(-1.0, 1.0));
+        // β = 0 disables repulsion entirely.
+        assert_eq!(resultant(f1, f2, fr, 0.0), Vec2::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! OSTD: spatio-temporal distribution of mobile nodes (Section 5 of the
+//! paper).
+//!
+//! * [`curvature`] — local Gaussian-curvature estimation by
+//!   least-squares quadric fit (Eqns. 11–13);
+//! * [`forces`] — the virtual forces `F1`, `F2`, `Fr` and the resultant
+//!   `Fs` (Eqns. 14–18);
+//! * [`lcm`] — the local connectivity mechanism (Fig. 4);
+//! * [`cma_step`] — one iteration of the coordinated movement algorithm
+//!   (Table 2) for a single node;
+//! * [`cwd`] — curvature-weighted-distribution residual metrics
+//!   (Eqns. 9–10) and a global-information relaxation used as the
+//!   Fig. 3 reference.
+
+pub mod curvature;
+pub mod cwd;
+pub mod forces;
+pub mod lcm;
+
+mod cma;
+
+pub use cma::{cma_step, CmaAction, CmaConfig, CmaOutcome, NeighborInfo};
+pub use curvature::{fit_quadric, gaussian_curvature_at, QuadricFit};

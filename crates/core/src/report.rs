@@ -1,0 +1,164 @@
+//! Full deployment analysis: reconstruction quality plus network
+//! health plus coverage balance, in one report.
+//!
+//! [`evaluate_deployment`](crate::evaluate_deployment) answers the
+//! paper's question (δ and connectivity); this report adds the
+//! operational questions a deployment owner asks next: how fragile is
+//! the network (articulation points), how long are the data paths
+//! (diameter), and how evenly is the region split between nodes
+//! (Voronoi coverage areas)?
+
+use cps_field::Field;
+use cps_geometry::{coverage_areas, GridSpec, Point2, Rect, Triangulation};
+use cps_linalg::Summary;
+use cps_network::{articulation_points, criticality, network_diameter, UnitDiskGraph};
+
+use crate::{evaluate_deployment, CoreError, DeploymentEvaluation};
+
+/// The full analysis of a deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Reconstruction quality (δ, rms, connectivity).
+    pub evaluation: DeploymentEvaluation,
+    /// Nodes whose single failure would disconnect the network.
+    pub articulation_points: Vec<usize>,
+    /// Fraction of nodes that are articulation points (0 = fully
+    /// redundant).
+    pub criticality: f64,
+    /// Longest shortest communication path (metres), `None` when
+    /// disconnected.
+    pub network_diameter: Option<f64>,
+    /// Summary of per-node Voronoi coverage areas over the region.
+    pub coverage: Summary,
+}
+
+impl DeploymentReport {
+    /// Ratio of the largest to the smallest per-node coverage area — 1
+    /// for a perfectly even split, large when a few nodes carry most of
+    /// the region.
+    pub fn coverage_imbalance(&self) -> f64 {
+        if self.coverage.min > 0.0 {
+            self.coverage.max / self.coverage.min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Computes the [`DeploymentReport`] for node `positions` against
+/// `reference` over `grid`, at communication radius `comm_radius`.
+///
+/// # Errors
+///
+/// Propagates [`evaluate_deployment`] errors (too few nodes, positions
+/// outside the region) and geometry errors from the coverage
+/// computation.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::analyze_deployment;
+/// use cps_field::PeaksField;
+/// use cps_geometry::{GridSpec, Rect};
+/// use cps_core::osd::baselines::uniform_grid_deployment;
+///
+/// let region = Rect::square(100.0).unwrap();
+/// let grid = GridSpec::new(region, 41, 41).unwrap();
+/// let field = PeaksField::new(region, 8.0);
+/// let nodes = uniform_grid_deployment(region, 16);
+/// let report = analyze_deployment(&field, &nodes, 30.0, &grid).unwrap();
+/// assert!(report.evaluation.connected);
+/// assert!((report.coverage_imbalance() - 1.0).abs() < 1e-6); // even grid
+/// ```
+pub fn analyze_deployment<F: Field>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+) -> Result<DeploymentReport, CoreError> {
+    let evaluation = evaluate_deployment(reference, positions, comm_radius, grid)?;
+    let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
+    let cuts = articulation_points(&graph);
+    let crit = criticality(&graph);
+    let diameter = if evaluation.connected {
+        network_diameter(&graph)
+    } else {
+        None
+    };
+
+    // Coverage: Voronoi cells of the deployment over the region.
+    let region: Rect = grid.rect();
+    let mut dt = Triangulation::new(region);
+    for &p in positions {
+        match dt.insert(p) {
+            Ok(_) => {}
+            Err(cps_geometry::GeometryError::DuplicatePoint { .. }) => {}
+            Err(e) => return Err(CoreError::Geometry(e)),
+        }
+    }
+    let coverage = Summary::from_values(&coverage_areas(&dt));
+
+    Ok(DeploymentReport {
+        evaluation,
+        articulation_points: cuts,
+        criticality: crit,
+        network_diameter: diameter,
+        coverage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osd::{baselines, FraBuilder};
+    use cps_field::PeaksField;
+
+    fn setting() -> (Rect, GridSpec, PeaksField) {
+        let region = Rect::square(100.0).unwrap();
+        let grid = GridSpec::new(region, 41, 41).unwrap();
+        (region, grid, PeaksField::new(region, 8.0))
+    }
+
+    #[test]
+    fn uniform_grid_report_is_balanced_and_redundant() {
+        let (region, grid, field) = setting();
+        let nodes = baselines::uniform_grid_deployment(region, 25);
+        // Rc = 25 comfortably exceeds the 20 m grid spacing including
+        // diagonals (28 > 25): rich connectivity without full mesh.
+        let report = analyze_deployment(&field, &nodes, 25.0, &grid).unwrap();
+        assert!(report.evaluation.connected);
+        assert!((report.coverage_imbalance() - 1.0).abs() < 1e-6);
+        // Diagonal links exist (20·√2 = 28.3 > 25: no diagonals, but
+        // row/column redundancy still removes most cut vertices).
+        assert!(report.criticality < 0.5);
+        assert!(report.network_diameter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn relay_chains_show_up_as_articulation_points() {
+        let (_, grid, field) = setting();
+        // Tight radius: FRA must build relay chains, which are
+        // inherently fragile.
+        let fra = FraBuilder::new(30, 8.0).grid(grid).run(&field).unwrap();
+        let report = analyze_deployment(&field, &fra.positions, 8.0, &grid).unwrap();
+        assert!(report.evaluation.connected);
+        assert!(
+            !report.articulation_points.is_empty(),
+            "relay chains should contain cut vertices"
+        );
+        assert!(report.coverage_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn disconnected_deployment_has_no_diameter() {
+        let (_, grid, field) = setting();
+        let nodes = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(99.0, 99.0),
+        ];
+        let report = analyze_deployment(&field, &nodes, 5.0, &grid).unwrap();
+        assert!(!report.evaluation.connected);
+        assert_eq!(report.network_diameter, None);
+    }
+}

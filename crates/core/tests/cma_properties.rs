@@ -1,0 +1,128 @@
+//! Property tests on the CMA iteration (Table 2).
+
+use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
+use cps_field::{Field, GaussianBlob, GaussianMixtureField};
+use cps_geometry::Point2;
+use proptest::prelude::*;
+
+fn sense<F: Field>(field: &F, center: Point2, rs: f64) -> Vec<(Point2, f64)> {
+    let r = rs.ceil() as i32;
+    let mut out = Vec::new();
+    for dx in -r..=r {
+        for dy in -r..=r {
+            let p = Point2::new(center.x + dx as f64, center.y + dy as f64);
+            if center.distance(p) <= rs {
+                out.push((p, field.value(p)));
+            }
+        }
+    }
+    out
+}
+
+fn field_strategy() -> impl Strategy<Value = GaussianMixtureField> {
+    prop::collection::vec(
+        (10.0f64..90.0, 10.0f64..90.0, -20.0f64..40.0, 2.0f64..8.0),
+        0..4,
+    )
+    .prop_map(|blobs| {
+        GaussianMixtureField::new(
+            5.0,
+            blobs
+                .into_iter()
+                .map(|(x, y, a, s)| GaussianBlob::isotropic(Point2::new(x, y), a, s))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The step's outputs are always finite, and any movement decision
+    /// stays within the sensing radius.
+    #[test]
+    fn cma_outputs_are_finite_and_bounded(
+        field in field_strategy(),
+        cx in 20.0f64..80.0,
+        cy in 20.0f64..80.0,
+        neighbors_seed in 0.0f64..std::f64::consts::TAU,
+        scale in 0.01f64..10.0,
+    ) {
+        let center = Point2::new(cx, cy);
+        let neighbors = vec![NeighborInfo {
+            position: Point2::new(cx + 5.0 * neighbors_seed.cos(), cy + 5.0 * neighbors_seed.sin()),
+            curvature: 0.3,
+        }];
+        let cfg = CmaConfig {
+            curvature_scale: scale,
+            ..CmaConfig::default()
+        };
+        let sensed = sense(&field, center, cfg.sensing_radius);
+        let out = cma_step(center, field.value(center), &sensed, &neighbors, &cfg).unwrap();
+        prop_assert!(out.force.is_finite());
+        prop_assert!(out.curvature.is_finite());
+        prop_assert!(out.peak.1.is_finite() && out.peak.1 >= 0.0);
+        if let CmaAction::MoveTo(dest) = out.action {
+            prop_assert!(dest.distance(center) <= cfg.sensing_radius + 1e-9);
+            prop_assert!(dest.is_finite());
+        }
+    }
+
+    /// Rotational symmetry: rotating the whole scene (samples and
+    /// neighbors) rotates the force.
+    #[test]
+    fn cma_is_rotation_equivariant(angle in 0.0f64..std::f64::consts::TAU) {
+        let center = Point2::new(0.0, 0.0);
+        // An asymmetric quadratic bump east of the node.
+        let field = GaussianMixtureField::new(
+            1.0,
+            vec![GaussianBlob::isotropic(Point2::new(4.0, 0.0), 10.0, 2.0)],
+        );
+        let cfg = CmaConfig {
+            curvature_scale: 1.0,
+            ..CmaConfig::default()
+        };
+        let sensed = sense(&field, center, cfg.sensing_radius);
+        let base = cma_step(center, field.value(center), &sensed, &[], &cfg).unwrap();
+
+        // Rotate every sample position by `angle` around the node.
+        let rotated: Vec<(Point2, f64)> = sensed
+            .iter()
+            .map(|&(p, z)| {
+                let v = (p - center).rotated(angle);
+                (center + v, z)
+            })
+            .collect();
+        let turned = cma_step(center, field.value(center), &rotated, &[], &cfg).unwrap();
+
+        let expected = base.force.rotated(angle);
+        prop_assert!(
+            (turned.force - expected).norm() <= 1e-6 * (1.0 + expected.norm()),
+            "force {:?} vs expected {:?}", turned.force, expected
+        );
+    }
+
+    /// With no curvature anywhere and symmetric neighbors, the node
+    /// stays put whatever the normalization scale.
+    #[test]
+    fn flat_symmetric_configurations_are_fixed_points(scale in 0.001f64..100.0) {
+        let center = Point2::new(50.0, 50.0);
+        let flat = GaussianMixtureField::new(7.0, vec![]);
+        let cfg = CmaConfig {
+            curvature_scale: scale,
+            ..CmaConfig::default()
+        };
+        let sensed = sense(&flat, center, cfg.sensing_radius);
+        let neighbors: Vec<NeighborInfo> = (0..4)
+            .map(|i| {
+                let a = std::f64::consts::FRAC_PI_2 * i as f64;
+                NeighborInfo {
+                    position: Point2::new(center.x + 9.0 * a.cos(), center.y + 9.0 * a.sin()),
+                    curvature: 0.0,
+                }
+            })
+            .collect();
+        let out = cma_step(center, 7.0, &sensed, &neighbors, &cfg).unwrap();
+        prop_assert_eq!(out.action, CmaAction::Stay);
+    }
+}

@@ -1,0 +1,132 @@
+//! Numeric field calculus: gradients, Hessians, and curvature maps by
+//! central differences.
+//!
+//! These helpers provide "ground truth" differential quantities for any
+//! [`Field`] — the reference the node-local quadric estimates
+//! (Eqns. 11–13 of the paper) are validated against, and the input to
+//! coverage/curvature analyses.
+
+use cps_geometry::{GridSpec, Point2};
+use cps_linalg::{SymMat2, Vec2};
+
+use crate::Field;
+
+/// Gradient `(∂f/∂x, ∂f/∂y)` at `p` by central differences with step
+/// `h`.
+///
+/// # Panics
+///
+/// Debug-panics when `h` is not positive.
+pub fn gradient<F: Field>(field: &F, p: Point2, h: f64) -> Vec2 {
+    debug_assert!(h > 0.0, "step must be positive");
+    let fx = (field.value(Point2::new(p.x + h, p.y)) - field.value(Point2::new(p.x - h, p.y)))
+        / (2.0 * h);
+    let fy = (field.value(Point2::new(p.x, p.y + h)) - field.value(Point2::new(p.x, p.y - h)))
+        / (2.0 * h);
+    Vec2::new(fx, fy)
+}
+
+/// Hessian `[[f_xx, f_xy], [f_xy, f_yy]]` at `p` by central differences
+/// with step `h`.
+pub fn hessian<F: Field>(field: &F, p: Point2, h: f64) -> SymMat2 {
+    debug_assert!(h > 0.0, "step must be positive");
+    let f0 = field.value(p);
+    let fxx = (field.value(Point2::new(p.x + h, p.y)) - 2.0 * f0
+        + field.value(Point2::new(p.x - h, p.y)))
+        / (h * h);
+    let fyy = (field.value(Point2::new(p.x, p.y + h)) - 2.0 * f0
+        + field.value(Point2::new(p.x, p.y - h)))
+        / (h * h);
+    let fxy = (field.value(Point2::new(p.x + h, p.y + h))
+        - field.value(Point2::new(p.x + h, p.y - h))
+        - field.value(Point2::new(p.x - h, p.y + h))
+        + field.value(Point2::new(p.x - h, p.y - h)))
+        / (4.0 * h * h);
+    SymMat2::new(fxx, fxy, fyy)
+}
+
+/// Gaussian curvature of the *graph surface* `z = f(x, y)` at `p`:
+/// `K = (f_xx·f_yy − f_xy²) / (1 + f_x² + f_y²)²`.
+///
+/// (The paper's height-field convention — its Eqns. 11–13 — drops the
+/// metric denominator; use [`hessian`]`.det()` for that variant.)
+pub fn gaussian_curvature<F: Field>(field: &F, p: Point2, h: f64) -> f64 {
+    let g = gradient(field, p, h);
+    let hess = hessian(field, p, h);
+    let denom = 1.0 + g.norm_squared();
+    hess.det() / (denom * denom)
+}
+
+/// Samples `|Hessian determinant|` (the paper's curvature weight) at
+/// every grid point — the curvature map used for coverage analyses.
+pub fn curvature_map<F: Field>(field: &F, grid: &GridSpec, h: f64) -> Vec<f64> {
+    let mut out = vec![0.0; grid.len()];
+    for (i, j, p) in grid.iter() {
+        out[grid.flat_index(i, j)] = hessian(field, p, h).det().abs();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParaboloidField, PlaneField};
+    use cps_geometry::Rect;
+
+    #[test]
+    fn gradient_of_a_plane_is_constant() {
+        let f = PlaneField::new(2.0, -3.0, 1.0);
+        let g = gradient(&f, Point2::new(4.0, 7.0), 0.5);
+        assert!((g.x - 2.0).abs() < 1e-9);
+        assert!((g.y + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hessian_of_a_quadric_is_exact() {
+        // f = x² + 3xy − 2y² → Hessian [[2, 3], [3, −4]] (constant, so
+        // central differences are exact up to rounding).
+        let f = ParaboloidField::new(Point2::ORIGIN, 1.0, 3.0, -2.0);
+        let h = hessian(&f, Point2::new(1.0, -2.0), 0.25);
+        assert!((h.a - 2.0).abs() < 1e-8);
+        assert!((h.b - 3.0).abs() < 1e-8);
+        assert!((h.c + 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gaussian_curvature_signs() {
+        let bowl = ParaboloidField::new(Point2::ORIGIN, 1.0, 0.0, 1.0);
+        assert!(gaussian_curvature(&bowl, Point2::ORIGIN, 0.1) > 0.0);
+        let saddle = ParaboloidField::new(Point2::ORIGIN, 1.0, 0.0, -1.0);
+        assert!(gaussian_curvature(&saddle, Point2::ORIGIN, 0.1) < 0.0);
+        let plane = PlaneField::new(1.0, 1.0, 0.0);
+        assert!(gaussian_curvature(&plane, Point2::ORIGIN, 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_denominator_shrinks_steep_curvature() {
+        // Same Hessian, steeper slope → smaller |K| for the graph
+        // surface.
+        struct Tilted;
+        impl Field for Tilted {
+            fn value(&self, p: Point2) -> f64 {
+                10.0 * p.x + p.x * p.x + p.y * p.y
+            }
+        }
+        let flat_bowl = ParaboloidField::new(Point2::ORIGIN, 1.0, 0.0, 1.0);
+        let k_flat = gaussian_curvature(&flat_bowl, Point2::ORIGIN, 0.1);
+        let k_tilted = gaussian_curvature(&Tilted, Point2::ORIGIN, 0.1);
+        assert!(k_tilted < k_flat);
+        assert!(k_tilted > 0.0);
+    }
+
+    #[test]
+    fn curvature_map_peaks_where_features_are() {
+        let region = Rect::square(20.0).unwrap();
+        let grid = GridSpec::new(region, 21, 21).unwrap();
+        let f = crate::GaussianBlob::isotropic(Point2::new(10.0, 10.0), 10.0, 2.0);
+        let map = curvature_map(&f, &grid, 0.5);
+        let center = map[grid.flat_index(10, 10)];
+        let corner = map[grid.flat_index(0, 0)];
+        assert!(center > 100.0 * corner.max(1e-12));
+    }
+}

@@ -1,0 +1,173 @@
+//! The paper's surface-difference metric `δ` (Section 3.3).
+//!
+//! The difference between the real surface `z = f(x, y)` and the rebuilt
+//! surface `z* = DT(x, y)` is defined as the volume difference between
+//! the polytopes under the two surfaces:
+//!
+//! ```text
+//! δ(V(z), V(z*)) = |V(z) ∪ V(z*)| − |V(z) ∩ V(z*)|
+//!               = ∬_A |f(x,y) − DT(x,y)| dx dy        (Eqn. 2)
+//! ```
+//!
+//! All integrals are evaluated by grid quadrature over a [`GridSpec`]
+//! with trapezoidal weights (boundary points count half, corners a
+//! quarter), which converges at O(h²) for the piecewise-smooth surfaces
+//! used in the experiments.
+
+use cps_geometry::GridSpec;
+
+use crate::Field;
+
+/// Quadrature weight for grid point `(i, j)`: trapezoidal rule.
+#[inline]
+fn weight(grid: &GridSpec, i: usize, j: usize) -> f64 {
+    let wx = if i == 0 || i == grid.nx() - 1 { 0.5 } else { 1.0 };
+    let wy = if j == 0 || j == grid.ny() - 1 { 0.5 } else { 1.0 };
+    wx * wy
+}
+
+/// Integrates an arbitrary pointwise combination of two fields over the
+/// grid.
+fn integrate2<F, G, C>(f: &F, g: &G, grid: &GridSpec, mut combine: C) -> f64
+where
+    F: Field,
+    G: Field,
+    C: FnMut(f64, f64) -> f64,
+{
+    let mut total = 0.0;
+    for (i, j, p) in grid.iter() {
+        total += weight(grid, i, j) * combine(f.value(p), g.value(p));
+    }
+    total * grid.cell_area()
+}
+
+/// The paper's `δ` (Eqn. 2): `∬ |f − g| dA` over the grid's region.
+///
+/// # Example
+///
+/// ```
+/// use cps_field::{delta::volume_difference, PlaneField};
+/// use cps_geometry::{GridSpec, Rect};
+///
+/// let grid = GridSpec::new(Rect::square(10.0).unwrap(), 11, 11).unwrap();
+/// let f = PlaneField::new(0.0, 0.0, 3.0);
+/// let g = PlaneField::new(0.0, 0.0, 1.0);
+/// let d = volume_difference(&f, &g, &grid);
+/// assert!((d - 200.0).abs() < 1e-9); // |3−1| × area 100
+/// ```
+pub fn volume_difference<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
+    integrate2(f, g, grid, |a, b| (a - b).abs())
+}
+
+/// Volume under a single surface, `∬ f dA` (Eqn. 4/5). For surfaces that
+/// dip below zero the integral is signed.
+pub fn volume<F: Field>(f: &F, grid: &GridSpec) -> f64 {
+    let mut total = 0.0;
+    for (i, j, p) in grid.iter() {
+        total += weight(grid, i, j) * f.value(p);
+    }
+    total * grid.cell_area()
+}
+
+/// `|V(f) ∪ V(g)| = ∬ max(f, g) dA` (Eqn. 6).
+pub fn union_volume<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
+    integrate2(f, g, grid, f64::max)
+}
+
+/// `|V(f) ∩ V(g)| = ∬ min(f, g) dA` (Eqn. 7).
+pub fn intersection_volume<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
+    integrate2(f, g, grid, f64::min)
+}
+
+/// Root-mean-square pointwise difference over the grid — a secondary
+/// error metric reported alongside δ in the experiment harnesses.
+pub fn rms_difference<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
+    let mut ss = 0.0;
+    for (_, _, p) in grid.iter() {
+        let d = f.value(p) - g.value(p);
+        ss += d * d;
+    }
+    (ss / grid.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianBlob, PeaksField, PlaneField};
+    use cps_geometry::{Point2, Rect};
+
+    fn grid() -> GridSpec {
+        GridSpec::new(Rect::square(10.0).unwrap(), 21, 21).unwrap()
+    }
+
+    #[test]
+    fn delta_of_identical_surfaces_is_zero() {
+        let f = PeaksField::new(Rect::square(10.0).unwrap(), 5.0);
+        assert_eq!(volume_difference(&f, &f, &grid()), 0.0);
+    }
+
+    #[test]
+    fn delta_is_symmetric_and_nonnegative() {
+        let f = PlaneField::new(1.0, 0.0, 0.0);
+        let g = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 4.0, 2.0);
+        let d1 = volume_difference(&f, &g, &grid());
+        let d2 = volume_difference(&g, &f, &grid());
+        assert!(d1 > 0.0);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_minus_intersection_equals_delta() {
+        // Theorem 3.1: |V∪V*| − |V∩V*| = ∬|f − g|.
+        let f = PlaneField::new(0.5, -0.2, 3.0);
+        let g = GaussianBlob::isotropic(Point2::new(4.0, 6.0), 5.0, 2.0);
+        let u = union_volume(&f, &g, &grid());
+        let i = intersection_volume(&f, &g, &grid());
+        let d = volume_difference(&f, &g, &grid());
+        assert!((u - i - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_of_constant_field() {
+        let f = PlaneField::new(0.0, 0.0, 2.5);
+        assert!((volume(&f, &grid()) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_of_linear_ramp() {
+        // ∬ x dA over [0,10]² = 500.
+        let f = PlaneField::new(1.0, 0.0, 0.0);
+        assert!((volume(&f, &grid()) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_on_delta() {
+        let f = PlaneField::new(1.0, 0.0, 0.0);
+        let g = PlaneField::new(0.0, 1.0, 0.0);
+        let h = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 3.0, 3.0);
+        let fg = volume_difference(&f, &g, &grid());
+        let fh = volume_difference(&f, &h, &grid());
+        let hg = volume_difference(&h, &g, &grid());
+        assert!(fg <= fh + hg + 1e-9);
+    }
+
+    #[test]
+    fn rms_difference_of_constant_offset() {
+        let f = PlaneField::new(0.0, 0.0, 1.0);
+        let g = PlaneField::new(0.0, 0.0, 4.0);
+        assert!((rms_difference(&f, &g, &grid()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrature_refines() {
+        // Finer grids converge: compare a coarse and a fine δ on a
+        // smooth field against a very fine reference.
+        let region = Rect::square(10.0).unwrap();
+        let f = PeaksField::new(region, 5.0);
+        let g = PlaneField::new(0.0, 0.0, 0.0);
+        let coarse = volume_difference(&f, &g, &GridSpec::new(region, 11, 11).unwrap());
+        let fine = volume_difference(&f, &g, &GridSpec::new(region, 81, 81).unwrap());
+        let reference = volume_difference(&f, &g, &GridSpec::new(region, 161, 161).unwrap());
+        assert!((fine - reference).abs() < (coarse - reference).abs());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for field construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or evaluating fields.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// Sample positions and values differ in length.
+    LengthMismatch {
+        /// Number of positions supplied.
+        positions: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// Too few distinct samples to build a surface (needs ≥ 3
+    /// non-collinear points).
+    TooFewSamples {
+        /// Number of usable samples.
+        count: usize,
+    },
+    /// A sample position fell outside the region of interest.
+    SampleOutOfRegion,
+    /// A value was NaN or infinite.
+    NonFiniteValue,
+    /// Keyframes were empty or not strictly increasing in time.
+    InvalidKeyframes,
+    /// An underlying geometric operation failed.
+    Geometry(cps_geometry::GeometryError),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::LengthMismatch { positions, values } => write!(
+                f,
+                "length mismatch: {positions} positions but {values} values"
+            ),
+            FieldError::TooFewSamples { count } => {
+                write!(f, "too few samples to build a surface: {count}")
+            }
+            FieldError::SampleOutOfRegion => {
+                write!(f, "sample position lies outside the region of interest")
+            }
+            FieldError::NonFiniteValue => write!(f, "value was NaN or infinite"),
+            FieldError::InvalidKeyframes => {
+                write!(f, "keyframes must be non-empty and strictly increasing in time")
+            }
+            FieldError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl Error for FieldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FieldError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cps_geometry::GeometryError> for FieldError {
+    fn from(e: cps_geometry::GeometryError) -> Self {
+        FieldError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FieldError::LengthMismatch {
+            positions: 3,
+            values: 2,
+        };
+        assert!(e.to_string().contains("3 positions"));
+        let g: FieldError = cps_geometry::GeometryError::EmptyGrid.into();
+        assert!(Error::source(&g).is_some());
+        assert!(Error::source(&FieldError::NonFiniteValue).is_none());
+    }
+}

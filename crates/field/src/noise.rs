@@ -1,0 +1,156 @@
+//! Seeded gradient-noise fields for stress testing.
+//!
+//! A smooth pseudo-random field with controllable feature scale —
+//! deterministic in its seed, defined everywhere, no allocation per
+//! query. Used by the robustness tests to throw "terrain nobody
+//! designed" at the distribution algorithms.
+
+use cps_geometry::Point2;
+
+use crate::Field;
+
+/// Value noise: pseudo-random lattice values blended with a smoothstep,
+/// octaved for broad-plus-fine structure.
+///
+/// # Example
+///
+/// ```
+/// use cps_field::{Field, NoiseField};
+/// use cps_geometry::Point2;
+///
+/// let f = NoiseField::new(7, 20.0, 10.0);
+/// let g = NoiseField::new(7, 20.0, 10.0);
+/// let p = Point2::new(12.3, 45.6);
+/// assert_eq!(f.value(p), g.value(p)); // deterministic in the seed
+/// let other = NoiseField::new(8, 20.0, 10.0);
+/// assert_ne!(f.value(p), other.value(p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseField {
+    seed: u64,
+    /// Feature wavelength of the coarsest octave, in region units.
+    scale: f64,
+    /// Peak-to-peak output amplitude.
+    amplitude: f64,
+}
+
+impl NoiseField {
+    /// Creates a two-octave value-noise field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` or `amplitude` is not positive and finite.
+    pub fn new(seed: u64, scale: f64, amplitude: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive and finite"
+        );
+        assert!(
+            amplitude > 0.0 && amplitude.is_finite(),
+            "amplitude must be positive and finite"
+        );
+        NoiseField {
+            seed,
+            scale,
+            amplitude,
+        }
+    }
+
+    /// Deterministic lattice value in [0, 1) at integer coordinates.
+    fn lattice(&self, ix: i64, iy: i64, octave: u64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut h = self
+            .seed
+            .wrapping_add(octave.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ (ix as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+            ^ (iy as u64).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn octave_value(&self, p: Point2, wavelength: f64, octave: u64) -> f64 {
+        let x = p.x / wavelength;
+        let y = p.y / wavelength;
+        let ix = x.floor() as i64;
+        let iy = y.floor() as i64;
+        let smooth = |t: f64| t * t * (3.0 - 2.0 * t);
+        let tx = smooth(x - ix as f64);
+        let ty = smooth(y - iy as f64);
+        let v00 = self.lattice(ix, iy, octave);
+        let v10 = self.lattice(ix + 1, iy, octave);
+        let v01 = self.lattice(ix, iy + 1, octave);
+        let v11 = self.lattice(ix + 1, iy + 1, octave);
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+    }
+}
+
+impl Field for NoiseField {
+    fn value(&self, p: Point2) -> f64 {
+        // Two octaves: base structure plus half-scale detail.
+        let coarse = self.octave_value(p, self.scale, 0);
+        let fine = self.octave_value(p, self.scale / 2.0, 1);
+        self.amplitude * ((2.0 * coarse + fine) / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_geometry::{GridSpec, Rect};
+
+    #[test]
+    fn output_range_and_determinism() {
+        let f = NoiseField::new(42, 15.0, 8.0);
+        let grid = GridSpec::new(Rect::square(100.0).unwrap(), 51, 51).unwrap();
+        let s = f.summarize(&grid);
+        assert!(s.min >= 0.0);
+        assert!(s.max <= 8.0);
+        assert!(s.std_dev > 0.1, "noise should vary: std {}", s.std_dev);
+        // Deterministic resampling.
+        let again = f.sample_grid(&grid);
+        assert_eq!(again, f.sample_grid(&grid));
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = NoiseField::new(1, 10.0, 1.0);
+        let b = NoiseField::new(2, 10.0, 1.0);
+        let grid = GridSpec::new(Rect::square(50.0).unwrap(), 21, 21).unwrap();
+        let va = a.sample_grid(&grid);
+        let vb = b.sample_grid(&grid);
+        let differing = va.iter().zip(&vb).filter(|(x, y)| x != y).count();
+        assert!(differing > 400);
+    }
+
+    #[test]
+    fn continuity_across_lattice_cells() {
+        // Values straddling a lattice line must agree to first order.
+        let f = NoiseField::new(9, 10.0, 5.0);
+        for k in 1..5 {
+            let x = 10.0 * k as f64;
+            let left = f.value(Point2::new(x - 1e-6, 3.3));
+            let right = f.value(Point2::new(x + 1e-6, 3.3));
+            assert!((left - right).abs() < 1e-4, "jump at lattice line {x}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_are_fine() {
+        let f = NoiseField::new(5, 10.0, 2.0);
+        let v = f.value(Point2::new(-37.2, -18.9));
+        assert!(v.is_finite() && (0.0..=2.0).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_panics() {
+        NoiseField::new(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Field combinators: build compound environments from parts.
+//!
+//! All combinators are zero-cost wrappers implementing [`Field`], so a
+//! test scenario like "the forest floor plus a heat plume, offset by a
+//! calibration bias" composes without new field types.
+
+use cps_geometry::Point2;
+
+use crate::Field;
+
+/// Pointwise sum of two fields.
+///
+/// # Example
+///
+/// ```
+/// use cps_field::{Field, PlaneField, SumField};
+/// use cps_geometry::Point2;
+///
+/// let f = SumField::new(PlaneField::new(1.0, 0.0, 0.0), PlaneField::new(0.0, 1.0, 2.0));
+/// assert_eq!(f.value(Point2::new(3.0, 4.0)), 3.0 + 4.0 + 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumField<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Field, B: Field> SumField<A, B> {
+    /// Creates `a + b`.
+    pub fn new(a: A, b: B) -> Self {
+        SumField { a, b }
+    }
+}
+
+impl<A: Field, B: Field> Field for SumField<A, B> {
+    fn value(&self, p: Point2) -> f64 {
+        self.a.value(p) + self.b.value(p)
+    }
+}
+
+/// Affine transform of a field's values: `scale · f(p) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledField<F> {
+    inner: F,
+    scale: f64,
+    offset: f64,
+}
+
+impl<F: Field> ScaledField<F> {
+    /// Creates `scale · f + offset`.
+    pub fn new(inner: F, scale: f64, offset: f64) -> Self {
+        ScaledField {
+            inner,
+            scale,
+            offset,
+        }
+    }
+}
+
+impl<F: Field> Field for ScaledField<F> {
+    fn value(&self, p: Point2) -> f64 {
+        self.scale * self.inner.value(p) + self.offset
+    }
+}
+
+/// A field evaluated in shifted coordinates:
+/// `f(p − displacement)` — move a pattern without rebuilding it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranslatedField<F> {
+    inner: F,
+    dx: f64,
+    dy: f64,
+}
+
+impl<F: Field> TranslatedField<F> {
+    /// Creates a field whose pattern is displaced by `(dx, dy)`.
+    pub fn new(inner: F, dx: f64, dy: f64) -> Self {
+        TranslatedField { inner, dx, dy }
+    }
+}
+
+impl<F: Field> Field for TranslatedField<F> {
+    fn value(&self, p: Point2) -> f64 {
+        self.inner.value(Point2::new(p.x - self.dx, p.y - self.dy))
+    }
+}
+
+/// Values clamped to a range — e.g. a sensor that saturates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClampedField<F> {
+    inner: F,
+    min: f64,
+    max: f64,
+}
+
+impl<F: Field> ClampedField<F> {
+    /// Creates a field clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(inner: F, min: f64, max: f64) -> Self {
+        assert!(min <= max, "clamp range is inverted");
+        ClampedField { inner, min, max }
+    }
+}
+
+impl<F: Field> Field for ClampedField<F> {
+    fn value(&self, p: Point2) -> f64 {
+        self.inner.value(p).clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianBlob, PlaneField};
+
+    #[test]
+    fn sum_adds_pointwise() {
+        let f = SumField::new(
+            PlaneField::new(1.0, 0.0, 0.0),
+            GaussianBlob::isotropic(Point2::ORIGIN, 2.0, 1.0),
+        );
+        assert_eq!(f.value(Point2::ORIGIN), 2.0);
+        assert!((f.value(Point2::new(10.0, 0.0)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let f = ScaledField::new(PlaneField::new(1.0, 0.0, 0.0), -2.0, 5.0);
+        assert_eq!(f.value(Point2::new(3.0, 0.0)), -1.0);
+    }
+
+    #[test]
+    fn translation_moves_the_pattern() {
+        let blob = GaussianBlob::isotropic(Point2::ORIGIN, 1.0, 1.0);
+        let moved = TranslatedField::new(blob, 5.0, -2.0);
+        assert!((moved.value(Point2::new(5.0, -2.0)) - 1.0).abs() < 1e-12);
+        assert!(moved.value(Point2::ORIGIN) < 1e-5);
+    }
+
+    #[test]
+    fn clamping_saturates() {
+        let f = ClampedField::new(PlaneField::new(1.0, 0.0, 0.0), 0.0, 5.0);
+        assert_eq!(f.value(Point2::new(-3.0, 0.0)), 0.0);
+        assert_eq!(f.value(Point2::new(2.0, 0.0)), 2.0);
+        assert_eq!(f.value(Point2::new(99.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_clamp_panics() {
+        ClampedField::new(PlaneField::default(), 2.0, 1.0);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let f = ClampedField::new(
+            ScaledField::new(
+                SumField::new(PlaneField::new(1.0, 1.0, 0.0), PlaneField::new(0.0, 0.0, 1.0)),
+                2.0,
+                0.0,
+            ),
+            0.0,
+            10.0,
+        );
+        // (x + y + 1)·2 clamped to [0, 10] at (1, 1) = 6.
+        assert_eq!(f.value(Point2::new(1.0, 1.0)), 6.0);
+        assert_eq!(f.value(Point2::new(50.0, 50.0)), 10.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The reconstruction surface `z* = DT(x, y)`: scattered samples lifted
+//! to a piecewise-linear surface by Delaunay triangulation.
+
+use cps_geometry::{Point2, Rect, Triangulation};
+
+use crate::{Field, FieldError};
+
+/// A piecewise-linear surface interpolating scattered samples over their
+/// Delaunay triangulation — the paper's `z* = DT(x, y)` (Section 3.1,
+/// "Environment reconstruction").
+///
+/// Queries inside the convex hull of the samples are barycentric
+/// interpolations on the containing triangle; queries outside the hull
+/// fall back to the nearest sample's value (the surface is total over
+/// the region so that the δ integral of Eqn. 2 is defined everywhere).
+///
+/// # Example
+///
+/// ```
+/// use cps_field::{Field, ReconstructedSurface};
+/// use cps_geometry::{Point2, Rect};
+///
+/// let region = Rect::square(10.0).unwrap();
+/// let positions = [
+///     Point2::new(0.0, 0.0),
+///     Point2::new(10.0, 0.0),
+///     Point2::new(10.0, 10.0),
+///     Point2::new(0.0, 10.0),
+/// ];
+/// // Sample the plane z = x + y at the corners.
+/// let samples: Vec<f64> = positions.iter().map(|p| p.x + p.y).collect();
+/// let surf = ReconstructedSurface::from_samples(region, &positions, &samples).unwrap();
+/// assert!((surf.value(Point2::new(3.0, 4.0)) - 7.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReconstructedSurface {
+    triangulation: Triangulation,
+    samples: Vec<f64>,
+}
+
+impl ReconstructedSurface {
+    /// Builds the surface from node positions and their sampled values.
+    ///
+    /// Duplicate positions (within the triangulation's tolerance) are
+    /// merged, keeping the first value — a scattered deployment may land
+    /// two nodes on the same spot.
+    ///
+    /// # Errors
+    ///
+    /// * [`FieldError::LengthMismatch`] — `positions` and `samples`
+    ///   differ in length.
+    /// * [`FieldError::TooFewSamples`] — fewer than 3 distinct usable
+    ///   positions.
+    /// * [`FieldError::SampleOutOfRegion`] — a position outside `region`.
+    /// * [`FieldError::NonFiniteValue`] — a non-finite sample value or
+    ///   coordinate.
+    pub fn from_samples(
+        region: Rect,
+        positions: &[Point2],
+        samples: &[f64],
+    ) -> Result<Self, FieldError> {
+        if positions.len() != samples.len() {
+            return Err(FieldError::LengthMismatch {
+                positions: positions.len(),
+                values: samples.len(),
+            });
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(FieldError::NonFiniteValue);
+        }
+        let mut triangulation = Triangulation::new(region);
+        let mut kept = Vec::with_capacity(samples.len());
+        for (&p, &z) in positions.iter().zip(samples) {
+            match triangulation.insert(p) {
+                Ok(_) => kept.push(z),
+                Err(cps_geometry::GeometryError::DuplicatePoint { .. }) => {
+                    // Merged with an earlier node at the same spot.
+                }
+                Err(cps_geometry::GeometryError::OutOfBounds { .. }) => {
+                    return Err(FieldError::SampleOutOfRegion)
+                }
+                Err(cps_geometry::GeometryError::NonFiniteCoordinate) => {
+                    return Err(FieldError::NonFiniteValue)
+                }
+                Err(e) => return Err(FieldError::Geometry(e)),
+            }
+        }
+        if triangulation.vertex_count() < 3 {
+            return Err(FieldError::TooFewSamples {
+                count: triangulation.vertex_count(),
+            });
+        }
+        Ok(ReconstructedSurface {
+            triangulation,
+            samples: kept,
+        })
+    }
+
+    /// Wraps an existing triangulation whose vertices already carry the
+    /// given values (`samples[i]` belongs to `VertexId(i)`).
+    ///
+    /// # Errors
+    ///
+    /// * [`FieldError::LengthMismatch`] — `samples.len()` differs from
+    ///   the triangulation's vertex count.
+    /// * [`FieldError::TooFewSamples`] — fewer than 3 vertices.
+    /// * [`FieldError::NonFiniteValue`] — a non-finite sample.
+    pub fn from_triangulation(
+        triangulation: Triangulation,
+        samples: Vec<f64>,
+    ) -> Result<Self, FieldError> {
+        if samples.len() != triangulation.vertex_count() {
+            return Err(FieldError::LengthMismatch {
+                positions: triangulation.vertex_count(),
+                values: samples.len(),
+            });
+        }
+        if triangulation.vertex_count() < 3 {
+            return Err(FieldError::TooFewSamples {
+                count: triangulation.vertex_count(),
+            });
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(FieldError::NonFiniteValue);
+        }
+        Ok(ReconstructedSurface {
+            triangulation,
+            samples,
+        })
+    }
+
+    /// Number of distinct sample sites in the surface.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The underlying triangulation.
+    pub fn triangulation(&self) -> &Triangulation {
+        &self.triangulation
+    }
+
+    /// Sample values, indexed by vertex id.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Field for ReconstructedSurface {
+    fn value(&self, p: Point2) -> f64 {
+        match self.triangulation.interpolate(p, &self.samples) {
+            Some(z) => z,
+            None => {
+                // Outside the hull of the samples: nearest-sample value.
+                let id = self
+                    .triangulation
+                    .nearest_vertex(p)
+                    .expect("surface has at least 3 vertices");
+                self.samples[id.0]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::square(10.0).unwrap()
+    }
+
+    fn corners_and(center: bool) -> (Vec<Point2>, Vec<f64>) {
+        let mut ps: Vec<Point2> = region().corners().to_vec();
+        if center {
+            ps.push(Point2::new(5.0, 5.0));
+        }
+        let zs = ps.iter().map(|p| 2.0 * p.x - p.y).collect();
+        (ps, zs)
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (ps, zs) = corners_and(false);
+        assert!(matches!(
+            ReconstructedSurface::from_samples(region(), &ps, &zs[..3]),
+            Err(FieldError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ReconstructedSurface::from_samples(region(), &ps[..2], &zs[..2]),
+            Err(FieldError::TooFewSamples { count: 2 })
+        ));
+        let bad = vec![f64::NAN; 4];
+        assert!(matches!(
+            ReconstructedSurface::from_samples(region(), &ps, &bad),
+            Err(FieldError::NonFiniteValue)
+        ));
+        let outside = vec![Point2::new(50.0, 50.0); 4];
+        assert!(matches!(
+            ReconstructedSurface::from_samples(region(), &outside, &zs),
+            Err(FieldError::SampleOutOfRegion)
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let (mut ps, mut zs) = corners_and(true);
+        ps.push(Point2::new(5.0, 5.0)); // exact duplicate of the centre
+        zs.push(999.0); // later value must be dropped
+        let surf = ReconstructedSurface::from_samples(region(), &ps, &zs).unwrap();
+        assert_eq!(surf.sample_count(), 5);
+        assert!((surf.value(Point2::new(5.0, 5.0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_plane_exactly() {
+        let (ps, zs) = corners_and(true);
+        let surf = ReconstructedSurface::from_samples(region(), &ps, &zs).unwrap();
+        for p in [
+            Point2::new(1.0, 9.0),
+            Point2::new(7.3, 2.2),
+            Point2::new(5.0, 0.0),
+        ] {
+            assert!((surf.value(p) - (2.0 * p.x - p.y)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outside_hull_falls_back_to_nearest() {
+        // Three samples in the middle of the region: hull misses corners.
+        let ps = [
+            Point2::new(4.0, 4.0),
+            Point2::new(6.0, 4.0),
+            Point2::new(5.0, 6.0),
+        ];
+        let zs = [1.0, 2.0, 3.0];
+        let surf = ReconstructedSurface::from_samples(region(), &ps, &zs).unwrap();
+        // Near the region corner (0,0), the nearest sample is the first.
+        assert_eq!(surf.value(Point2::new(0.0, 0.0)), 1.0);
+        assert_eq!(surf.value(Point2::new(10.0, 10.0)), 3.0);
+    }
+
+    #[test]
+    fn from_triangulation_checks_lengths() {
+        let dt = Triangulation::from_points(region(), region().corners()).unwrap();
+        assert!(ReconstructedSurface::from_triangulation(dt.clone(), vec![0.0; 3]).is_err());
+        let ok = ReconstructedSurface::from_triangulation(dt, vec![1.0; 4]).unwrap();
+        assert_eq!(ok.sample_count(), 4);
+        assert_eq!(ok.samples(), &[1.0; 4]);
+        assert_eq!(ok.triangulation().vertex_count(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests on the field substrate.
+
+use cps_field::{
+    delta, Field, GaussianBlob, GaussianMixtureField, GridField, KeyframeField, TimeVaryingField,
+};
+use cps_geometry::{GridSpec, Point2, Rect};
+use proptest::prelude::*;
+
+fn blobs_strategy() -> impl Strategy<Value = GaussianMixtureField> {
+    prop::collection::vec(
+        (2.0f64..48.0, 2.0f64..48.0, -15.0f64..30.0, 1.5f64..9.0),
+        0..5,
+    )
+    .prop_map(|raw| {
+        GaussianMixtureField::new(
+            4.0,
+            raw.into_iter()
+                .map(|(x, y, a, s)| GaussianBlob::isotropic(Point2::new(x, y), a, s))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rasterizing any field onto a grid reproduces it exactly at the
+    /// grid points and within the field's local variation between them.
+    #[test]
+    fn grid_field_round_trips_at_grid_points(field in blobs_strategy()) {
+        let spec = GridSpec::new(Rect::square(50.0).unwrap(), 26, 26).unwrap();
+        let raster = GridField::from_field(spec, &field);
+        for (i, j, p) in spec.iter() {
+            prop_assert!((raster.at(i, j) - field.value(p)).abs() < 1e-12);
+            prop_assert!((raster.value(p) - field.value(p)).abs() < 1e-9);
+        }
+    }
+
+    /// δ between a field and its rasterization shrinks as the raster
+    /// refines.
+    #[test]
+    fn rasterization_error_shrinks_with_resolution(field in blobs_strategy()) {
+        let region = Rect::square(50.0).unwrap();
+        let eval = GridSpec::new(region, 41, 41).unwrap();
+        let coarse = GridField::from_field(GridSpec::new(region, 6, 6).unwrap(), &field);
+        let fine = GridField::from_field(GridSpec::new(region, 21, 21).unwrap(), &field);
+        let d_coarse = delta::volume_difference(&field, &coarse, &eval);
+        let d_fine = delta::volume_difference(&field, &fine, &eval);
+        prop_assert!(d_fine <= d_coarse + 1e-9, "fine {d_fine} vs coarse {d_coarse}");
+    }
+
+    /// Keyframe interpolation is bounded by its bracketing frames at
+    /// every point and instant.
+    #[test]
+    fn keyframes_stay_within_their_brackets(
+        lo in 0.0f64..5.0,
+        hi in 6.0f64..12.0,
+        t in 0.0f64..20.0,
+        px in 0.0f64..10.0,
+        py in 0.0f64..10.0,
+    ) {
+        let spec = GridSpec::new(Rect::square(10.0).unwrap(), 6, 6).unwrap();
+        let f0 = GridField::from_fn(spec, |_| lo);
+        let f1 = GridField::from_fn(spec, |_| hi);
+        let kf = KeyframeField::new(vec![(5.0, f0), (15.0, f1)]).unwrap();
+        let v = kf.value_at(Point2::new(px, py), t);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// The δ metric is a pseudometric on fields: symmetric, zero on the
+    /// diagonal, triangle inequality.
+    #[test]
+    fn delta_is_a_pseudometric(f in blobs_strategy(), g in blobs_strategy(), h in blobs_strategy()) {
+        let grid = GridSpec::new(Rect::square(50.0).unwrap(), 21, 21).unwrap();
+        let dfg = delta::volume_difference(&f, &g, &grid);
+        let dgf = delta::volume_difference(&g, &f, &grid);
+        prop_assert!((dfg - dgf).abs() < 1e-9);
+        prop_assert_eq!(delta::volume_difference(&f, &f, &grid), 0.0);
+        let dfh = delta::volume_difference(&f, &h, &grid);
+        let dhg = delta::volume_difference(&h, &g, &grid);
+        prop_assert!(dfg <= dfh + dhg + 1e-9);
+    }
+}

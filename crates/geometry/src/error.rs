@@ -1,0 +1,76 @@
+//! Error type for geometric construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Point2;
+
+/// Errors produced by geometric constructions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A rectangle was given a min corner not strictly below its max
+    /// corner.
+    InvalidRect {
+        /// Offending minimum corner.
+        min: Point2,
+        /// Offending maximum corner.
+        max: Point2,
+    },
+    /// A point lies outside the triangulation's bounding region.
+    OutOfBounds {
+        /// The rejected point.
+        point: Point2,
+    },
+    /// The point coincides (within tolerance) with an existing vertex.
+    DuplicatePoint {
+        /// The rejected point.
+        point: Point2,
+    },
+    /// An input coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// The requested grid has a zero dimension.
+    EmptyGrid,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::InvalidRect { min, max } => {
+                write!(f, "invalid rectangle: min {min} not strictly below max {max}")
+            }
+            GeometryError::OutOfBounds { point } => {
+                write!(f, "point {point} lies outside the triangulation region")
+            }
+            GeometryError::DuplicatePoint { point } => {
+                write!(f, "point {point} duplicates an existing vertex")
+            }
+            GeometryError::NonFiniteCoordinate => {
+                write!(f, "coordinate was NaN or infinite")
+            }
+            GeometryError::EmptyGrid => write!(f, "grid must have at least one cell"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeometryError::DuplicatePoint {
+            point: Point2::new(1.0, 2.0),
+        };
+        assert!(e.to_string().contains("duplicates"));
+        assert!(GeometryError::EmptyGrid.to_string().contains("grid"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GeometryError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Convex hull (Andrew's monotone chain).
+
+use crate::predicates::orient2d;
+use crate::Point2;
+
+/// Computes the convex hull of a point set with Andrew's monotone-chain
+/// algorithm, returning hull vertices in counterclockwise order.
+///
+/// Collinear points on hull edges are omitted. Inputs with fewer than
+/// three non-coincident points return what is available (the degenerate
+/// hull): zero, one, or two points.
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::{convex_hull, Point2};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 0.0),
+///     Point2::new(1.0, 1.0), // interior
+///     Point2::new(2.0, 2.0),
+///     Point2::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates compare")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates compare"))
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::is_ccw;
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // All consecutive triples wind CCW.
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            let c = hull[(i + 2) % hull.len()];
+            assert!(is_ccw(a, b, c));
+        }
+    }
+
+    #[test]
+    fn collinear_points_collapse() {
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64, i as f64)).collect();
+        let hull = convex_hull(&pts);
+        // Degenerate: all collinear — monotone chain keeps the two extremes.
+        assert!(hull.len() <= 2, "collinear hull had {} points", hull.len());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::new(1.0, 1.0)]).len(), 1);
+        let two = convex_hull(&[Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]);
+        assert_eq!(two.len(), 2);
+        // Duplicates collapse.
+        let dup = convex_hull(&[Point2::new(1.0, 1.0); 4]);
+        assert_eq!(dup.len(), 1);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Every input point must be inside or on the hull boundary:
+        // check via orientation against each hull edge.
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point2::new(10.0 * a.cos() * (1.0 + 0.1 * (i % 3) as f64), 8.0 * a.sin())
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        for &p in &pts {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                assert!(
+                    orient2d(a, b, p) >= -1e-9,
+                    "point {p} lies outside hull edge {a}→{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_points_ignored() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(f64::NAN, 1.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! A bucket-grid spatial index for range queries.
+//!
+//! Unit-disk graph construction and nearest-neighbor scans are the
+//! inner loops of every experiment; the bucket grid turns their
+//! all-pairs O(n²) into O(n) for the bounded-density deployments this
+//! workspace simulates.
+
+use crate::Point2;
+
+/// A uniform bucket grid over a point set, supporting radius queries.
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::{GridIndex, Point2};
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(3.0, 0.0),
+///     Point2::new(50.0, 50.0),
+/// ];
+/// let index = GridIndex::new(&pts, 5.0);
+/// let mut near = index.within(Point2::new(1.0, 0.0), 5.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point2>,
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    nx: usize,
+    ny: usize,
+    /// `buckets[cell]` = indices of points in that cell.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index with the given bucket size (use the typical
+    /// query radius; the structure stays correct for any radius).
+    ///
+    /// Non-finite points are excluded from every query result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(points: &[Point2], cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite"
+        );
+        let finite: Vec<&Point2> = points.iter().filter(|p| p.is_finite()).collect();
+        let (mut min_x, mut min_y) = (0.0f64, 0.0f64);
+        let (mut max_x, mut max_y) = (0.0f64, 0.0f64);
+        if let Some(first) = finite.first() {
+            min_x = first.x;
+            min_y = first.y;
+            max_x = first.x;
+            max_y = first.y;
+        }
+        for p in &finite {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let nx = (((max_x - min_x) / cell_size).floor() as usize + 1).max(1);
+        let ny = (((max_y - min_y) / cell_size).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for (i, p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                continue;
+            }
+            let cx = (((p.x - min_x) / cell_size).floor() as usize).min(nx - 1);
+            let cy = (((p.y - min_y) / cell_size).floor() as usize).min(ny - 1);
+            buckets[cy * nx + cx].push(i as u32);
+        }
+        GridIndex {
+            points: points.to_vec(),
+            cell: cell_size,
+            min_x,
+            min_y,
+            nx,
+            ny,
+            buckets,
+        }
+    }
+
+    /// Number of indexed points (including non-finite placeholders).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` of `q` (inclusive), in
+    /// arbitrary order.
+    pub fn within(&self, q: Point2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(q, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` for every point within `radius` of `q` (inclusive).
+    pub fn for_each_within<F: FnMut(usize)>(&self, q: Point2, radius: f64, mut f: F) {
+        if self.points.is_empty() || !q.is_finite() {
+            return;
+        }
+        let r2 = radius * radius;
+        let reach = (radius / self.cell).ceil() as i64 + 1;
+        let qcx = ((q.x - self.min_x) / self.cell).floor() as i64;
+        let qcy = ((q.y - self.min_y) / self.cell).floor() as i64;
+        for cy in (qcy - reach).max(0)..=(qcy + reach).min(self.ny as i64 - 1) {
+            for cx in (qcx - reach).max(0)..=(qcx + reach).min(self.nx as i64 - 1) {
+                for &i in &self.buckets[cy as usize * self.nx + cx as usize] {
+                    let p = self.points[i as usize];
+                    if q.distance_squared(p) <= r2 {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the nearest point to `q`, or `None` for an empty index
+    /// or a non-finite query.
+    pub fn nearest(&self, q: Point2) -> Option<usize> {
+        if !q.is_finite() || self.points.iter().all(|p| !p.is_finite()) {
+            return None;
+        }
+        // Expanding ring search; falls back to a scan after a few rings
+        // (sparse regions).
+        let mut radius = self.cell;
+        for _ in 0..6 {
+            let mut best: Option<(usize, f64)> = None;
+            self.for_each_within(q, radius, |i| {
+                let d = q.distance_squared(self.points[i]);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            if let Some((i, _)) = best {
+                return Some(i);
+            }
+            radius *= 2.0;
+        }
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_finite())
+            .min_by(|a, b| {
+                q.distance_squared(*a.1)
+                    .partial_cmp(&q.distance_squared(*b.1))
+                    .expect("finite distances")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(-50.0..150.0), rng.gen_range(-50.0..150.0)))
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts = random_points(300, 4);
+        let index = GridIndex::new(&pts, 10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let q = Point2::new(rng.gen_range(-60.0..160.0), rng.gen_range(-60.0..160.0));
+            let r = rng.gen_range(0.5..40.0);
+            let mut got = index.within(q, r);
+            got.sort_unstable();
+            let expected: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.distance(**p) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, expected, "q={q}, r={r}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(200, 7);
+        let index = GridIndex::new(&pts, 8.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let q = Point2::new(rng.gen_range(-80.0..180.0), rng.gen_range(-80.0..180.0));
+            let got = index.nearest(q).unwrap();
+            let best = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    q.distance_squared(*a.1)
+                        .partial_cmp(&q.distance_squared(*b.1))
+                        .unwrap()
+                })
+                .unwrap()
+                .0;
+            assert!(
+                (q.distance(pts[got]) - q.distance(pts[best])).abs() < 1e-12,
+                "q={q}: got {got}, best {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = GridIndex::new(&[], 1.0);
+        assert!(empty.is_empty());
+        assert!(empty.within(Point2::ORIGIN, 10.0).is_empty());
+        assert_eq!(empty.nearest(Point2::ORIGIN), None);
+
+        let single = GridIndex::new(&[Point2::new(3.0, 4.0)], 1.0);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.nearest(Point2::ORIGIN), Some(0));
+
+        // Coincident points all report.
+        let coincident = vec![Point2::new(1.0, 1.0); 5];
+        let idx = GridIndex::new(&coincident, 2.0);
+        assert_eq!(idx.within(Point2::new(1.0, 1.0), 0.1).len(), 5);
+    }
+
+    #[test]
+    fn non_finite_points_are_ignored() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(f64::NAN, 1.0),
+            Point2::new(2.0, 0.0),
+        ];
+        let idx = GridIndex::new(&pts, 1.0);
+        let mut got = idx.within(Point2::ORIGIN, 5.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+        assert_eq!(idx.nearest(Point2::new(f64::NAN, 0.0)), None);
+    }
+}

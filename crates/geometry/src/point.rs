@@ -1,0 +1,176 @@
+//! Planar points.
+
+use std::fmt;
+
+use cps_linalg::Vec2;
+
+/// A point in the plane (a *position*, as opposed to the displacement
+/// vector [`Vec2`]).
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::Point2;
+///
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// let mid = a.midpoint(b);
+/// assert_eq!(mid, Point2::new(1.5, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_squared(self, other: Point2) -> f64 {
+        (self - other).norm_squared()
+    }
+
+    /// The midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Displaces the point by a vector.
+    #[inline]
+    pub fn translate(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+
+    /// The position vector from the origin.
+    #[inline]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl std::ops::Sub for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point2 {
+        self.translate(rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    #[inline]
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<Vec2> for Point2 {
+    #[inline]
+    fn from(v: Vec2) -> Self {
+        Point2::new(v.x, v.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_midpoint() {
+        let a = Point2::new(1.0, 1.0);
+        let b = Point2::new(4.0, 5.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+        assert_eq!(a.midpoint(b), Point2::new(2.5, 3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        let d = b - a;
+        assert_eq!(d, Vec2::new(3.0, 4.0));
+        assert_eq!(a + d, b);
+        assert_eq!(a.translate(d), b);
+        assert_eq!(a.to_vec(), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point2 = (2.0, 3.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+        let q: Point2 = Vec2::new(1.0, 1.0).into();
+        assert_eq!(q, Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point2::new(0.0, 0.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,170 @@
+//! Convex-polygon helpers: area, centroid, half-plane clipping.
+
+use crate::Point2;
+use cps_linalg::Vec2;
+
+/// Signed area of a polygon by the shoelace formula (positive for
+/// counterclockwise winding). Degenerate polygons (< 3 vertices) have
+/// zero area.
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::{polygon_area, Point2};
+///
+/// let square = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 0.0),
+///     Point2::new(2.0, 2.0),
+///     Point2::new(0.0, 2.0),
+/// ];
+/// assert_eq!(polygon_area(&square), 4.0);
+/// ```
+pub fn polygon_area(vertices: &[Point2]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let mut twice = 0.0;
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        twice += a.x * b.y - b.x * a.y;
+    }
+    twice / 2.0
+}
+
+/// Area centroid of a simple polygon. Falls back to the vertex average
+/// for degenerate (zero-area) inputs; `None` only for an empty input.
+pub fn polygon_centroid(vertices: &[Point2]) -> Option<Point2> {
+    if vertices.is_empty() {
+        return None;
+    }
+    let area = polygon_area(vertices);
+    if area.abs() < 1e-12 {
+        let n = vertices.len() as f64;
+        let (sx, sy) = vertices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        return Some(Point2::new(sx / n, sy / n));
+    }
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        let cross = a.x * b.y - b.x * a.y;
+        cx += (a.x + b.x) * cross;
+        cy += (a.y + b.y) * cross;
+    }
+    Some(Point2::new(cx / (6.0 * area), cy / (6.0 * area)))
+}
+
+/// Clips a convex polygon against the half-plane
+/// `{ p : (p − origin) · normal ≤ limit }` (Sutherland–Hodgman, one
+/// plane). Returns the (possibly empty) clipped polygon.
+pub fn clip_polygon_halfplane(
+    vertices: &[Point2],
+    origin: Point2,
+    normal: Vec2,
+    limit: f64,
+) -> Vec<Point2> {
+    let inside = |p: Point2| (p - origin).dot(normal) <= limit + 1e-12;
+    let mut out = Vec::with_capacity(vertices.len() + 1);
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        let (ia, ib) = (inside(a), inside(b));
+        if ia {
+            out.push(a);
+        }
+        if ia != ib {
+            // Edge crosses the boundary: add the intersection point.
+            let da = (a - origin).dot(normal) - limit;
+            let db = (b - origin).dot(normal) - limit;
+            let t = da / (da - db);
+            out.push(a.lerp(b, t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn area_signs_and_degenerates() {
+        let sq = unit_square();
+        assert_eq!(polygon_area(&sq), 1.0);
+        let mut cw = sq.clone();
+        cw.reverse();
+        assert_eq!(polygon_area(&cw), -1.0);
+        assert_eq!(polygon_area(&sq[..2]), 0.0);
+        assert_eq!(polygon_area(&[]), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_square_and_triangle() {
+        assert_eq!(
+            polygon_centroid(&unit_square()).unwrap(),
+            Point2::new(0.5, 0.5)
+        );
+        let tri = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(0.0, 3.0),
+        ];
+        let c = polygon_centroid(&tri).unwrap();
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+        assert!(polygon_centroid(&[]).is_none());
+        // Degenerate fallback.
+        let seg = vec![Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)];
+        assert_eq!(polygon_centroid(&seg).unwrap(), Point2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn clipping_halves_the_square() {
+        // Keep x ≤ 0.5.
+        let clipped = clip_polygon_halfplane(
+            &unit_square(),
+            Point2::ORIGIN,
+            Vec2::new(1.0, 0.0),
+            0.5,
+        );
+        assert!((polygon_area(&clipped) - 0.5).abs() < 1e-12);
+        assert!(clipped.iter().all(|p| p.x <= 0.5 + 1e-9));
+    }
+
+    #[test]
+    fn clipping_away_everything_yields_empty() {
+        let clipped = clip_polygon_halfplane(
+            &unit_square(),
+            Point2::ORIGIN,
+            Vec2::new(1.0, 0.0),
+            -1.0,
+        );
+        assert!(clipped.is_empty());
+    }
+
+    #[test]
+    fn clipping_with_no_effect_is_identity() {
+        let clipped = clip_polygon_halfplane(
+            &unit_square(),
+            Point2::ORIGIN,
+            Vec2::new(1.0, 0.0),
+            5.0,
+        );
+        assert_eq!(clipped.len(), 4);
+        assert!((polygon_area(&clipped) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Voronoi coverage cells — the dual of the Delaunay triangulation.
+//!
+//! Each inserted vertex owns the region of the plane closer to it than
+//! to any other vertex, clipped to the triangulation's bounding
+//! rectangle. The cells quantify per-node *coverage responsibility*: a
+//! deployment's cell-area distribution shows how evenly (or how
+//! curvature-weightedly) it splits the region.
+
+use cps_linalg::Vec2;
+
+use crate::polygon::{clip_polygon_halfplane, polygon_area};
+use crate::{Point2, Triangulation, VertexId};
+
+/// Computes the bounded Voronoi cell of every vertex: a convex polygon
+/// (counterclockwise) clipped to the triangulation's bounding region.
+///
+/// Each cell is the bounding rectangle clipped by the perpendicular
+/// bisector against every Delaunay neighbor — the classic duality: only
+/// Delaunay neighbors contribute active Voronoi edges. Isolated cases
+/// (fewer than 2 vertices) fall back to the full rectangle.
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::{voronoi_cells, polygon_area, Point2, Rect, Triangulation};
+///
+/// let bounds = Rect::square(10.0).unwrap();
+/// let dt = Triangulation::from_points(
+///     bounds,
+///     [Point2::new(2.5, 5.0), Point2::new(7.5, 5.0), Point2::new(5.0, 9.0)],
+/// ).unwrap();
+/// let cells = voronoi_cells(&dt);
+/// let total: f64 = cells.iter().map(|c| polygon_area(c)).sum();
+/// assert!((total - 100.0).abs() < 1e-6); // cells tile the region
+/// ```
+pub fn voronoi_cells(dt: &Triangulation) -> Vec<Vec<Point2>> {
+    let bounds = dt.bounds();
+    let rect_poly: Vec<Point2> = bounds.corners().to_vec();
+    let n = dt.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Vertex adjacency from the real triangles, plus an all-pairs
+    // fallback for degenerate inputs (collinear sites produce no real
+    // triangles but still have Voronoi cells).
+    let mut neighbors: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); n];
+    for tri in dt.triangles() {
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    neighbors[tri[i].0].insert(tri[j].0);
+                }
+            }
+        }
+    }
+    let triangulated = dt.triangle_count() > 0;
+
+    (0..n)
+        .map(|i| {
+            let site = dt.vertex(VertexId(i));
+            let mut cell = rect_poly.clone();
+            let others: Vec<usize> = if triangulated && !neighbors[i].is_empty() {
+                neighbors[i].iter().copied().collect()
+            } else {
+                (0..n).filter(|&j| j != i).collect()
+            };
+            for j in others {
+                let other = dt.vertex(VertexId(j));
+                let mid = site.midpoint(other);
+                let normal: Vec2 = other - site;
+                // Keep the half-plane on the site's side of the
+                // bisector: (p − mid) · (other − site) ≤ 0.
+                cell = clip_polygon_halfplane(&cell, mid, normal, 0.0);
+                if cell.is_empty() {
+                    break;
+                }
+            }
+            cell
+        })
+        .collect()
+}
+
+/// Per-vertex coverage areas: the Voronoi cell areas, in vertex order.
+/// Always sums to the bounding region's area (up to floating error)
+/// for non-empty triangulations.
+pub fn coverage_areas(dt: &Triangulation) -> Vec<f64> {
+    voronoi_cells(dt)
+        .iter()
+        .map(|c| polygon_area(c).abs())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    #[test]
+    fn single_site_owns_everything() {
+        let bounds = Rect::square(10.0).unwrap();
+        let dt = Triangulation::from_points(bounds, [Point2::new(3.0, 3.0)]).unwrap();
+        let cells = voronoi_cells(&dt);
+        assert_eq!(cells.len(), 1);
+        assert!((polygon_area(&cells[0]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sites_split_along_the_bisector() {
+        let bounds = Rect::square(10.0).unwrap();
+        let dt = Triangulation::from_points(
+            bounds,
+            [Point2::new(2.0, 5.0), Point2::new(8.0, 5.0)],
+        )
+        .unwrap();
+        let areas = coverage_areas(&dt);
+        assert!((areas[0] - 50.0).abs() < 1e-9);
+        assert!((areas[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cells_tile_the_region_for_many_sites() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let bounds = Rect::square(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut dt = Triangulation::new(bounds);
+        for _ in 0..40 {
+            let p = Point2::new(rng.gen_range(1.0..99.0), rng.gen_range(1.0..99.0));
+            let _ = dt.insert(p);
+        }
+        let areas = coverage_areas(&dt);
+        let total: f64 = areas.iter().sum();
+        assert!(
+            (total - 10_000.0).abs() < 1e-6,
+            "cells must tile the region, got {total}"
+        );
+        assert!(areas.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn every_site_lies_inside_its_own_cell() {
+        let bounds = Rect::square(50.0).unwrap();
+        let sites = [
+            Point2::new(10.0, 10.0),
+            Point2::new(40.0, 12.0),
+            Point2::new(25.0, 40.0),
+            Point2::new(26.0, 22.0),
+        ];
+        let dt = Triangulation::from_points(bounds, sites).unwrap();
+        let cells = voronoi_cells(&dt);
+        for (i, cell) in cells.iter().enumerate() {
+            // Site inside (or on the boundary of) its convex cell:
+            // check via the half-plane property against each edge.
+            let site = dt.vertex(VertexId(i));
+            for k in 0..cell.len() {
+                let a = cell[k];
+                let b = cell[(k + 1) % cell.len()];
+                let cross = (b - a).cross(site - a);
+                assert!(cross >= -1e-9, "site {i} outside its cell");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_sites_have_equal_cells() {
+        let bounds = Rect::square(30.0).unwrap();
+        let mut sites = Vec::new();
+        for j in 0..3 {
+            for i in 0..3 {
+                sites.push(Point2::new(5.0 + 10.0 * i as f64, 5.0 + 10.0 * j as f64));
+            }
+        }
+        let dt = Triangulation::from_points(bounds, sites).unwrap();
+        let areas = coverage_areas(&dt);
+        for &a in &areas {
+            assert!((a - 100.0).abs() < 1e-6, "expected 100, got {a}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the Delaunay triangulation invariants.
+
+use cps_geometry::{Point2, Rect, Triangulation};
+use proptest::prelude::*;
+
+const SIDE: f64 = 100.0;
+
+/// Random interior points, quantized to a 0.25 m lattice so that
+/// proptest's shrinker produces stable configurations (coincident points
+/// are deduplicated before insertion).
+fn interior_points(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((1u32..=399, 1u32..=399), 3..max).prop_map(|raw| {
+        let mut pts: Vec<(u32, u32)> = raw;
+        pts.sort_unstable();
+        pts.dedup();
+        pts.into_iter()
+            .map(|(i, j)| Point2::new(f64::from(i) * 0.25, f64::from(j) * 0.25))
+            .collect()
+    })
+}
+
+fn build(points: &[Point2]) -> Triangulation {
+    let bounds = Rect::square(SIDE).unwrap();
+    let mut dt = Triangulation::new(bounds);
+    for c in bounds.corners() {
+        dt.insert(c).unwrap();
+    }
+    for &p in points {
+        dt.insert(p).unwrap();
+    }
+    dt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The union of real triangles always tiles the full square exactly:
+    /// no holes, no overlaps.
+    #[test]
+    fn triangulation_tiles_the_region(pts in interior_points(40)) {
+        let dt = build(&pts);
+        let area: f64 = dt
+            .triangles()
+            .iter()
+            .map(|&t| dt.triangle_geometry(t).area())
+            .sum();
+        prop_assert!((area - SIDE * SIDE).abs() < 1e-5, "area {area}");
+    }
+
+    /// Every triangle satisfies the empty-circumcircle property.
+    #[test]
+    fn triangulation_is_delaunay(pts in interior_points(30)) {
+        let dt = build(&pts);
+        prop_assert!(dt.is_delaunay(1e-7));
+    }
+
+    /// Euler's relation for a triangulated convex polygon with all
+    /// vertices inside/on the square: T = 2·V − 2 − H, where H is the
+    /// hull size. With the four corners always present, the hull contains
+    /// at least those 4 vertices.
+    #[test]
+    fn euler_relation_holds(pts in interior_points(30)) {
+        let dt = build(&pts);
+        let v = dt.vertex_count();
+        let hull = cps_geometry::convex_hull(&dt.vertices().collect::<Vec<_>>());
+        let expected = 2 * v - 2 - hull.len();
+        prop_assert_eq!(dt.triangle_count(), expected);
+    }
+
+    /// Interpolation of an affine function is exact everywhere inside
+    /// the region, whatever the triangulation.
+    #[test]
+    fn interpolation_reproduces_affine(
+        pts in interior_points(25),
+        qx in 0.0f64..SIDE,
+        qy in 0.0f64..SIDE,
+    ) {
+        let dt = build(&pts);
+        let f = |p: Point2| 0.7 * p.x - 1.3 * p.y + 10.0;
+        let zs: Vec<f64> = dt.vertices().map(f).collect();
+        let q = Point2::new(qx, qy);
+        let z = dt.interpolate(q, &zs).expect("in-region point interpolates");
+        prop_assert!((z - f(q)).abs() < 1e-6, "at {}: {} vs {}", q, z, f(q));
+    }
+
+    /// locate() returns a triangle that actually contains the query.
+    #[test]
+    fn locate_returns_containing_triangle(
+        pts in interior_points(25),
+        qx in 0.0f64..SIDE,
+        qy in 0.0f64..SIDE,
+    ) {
+        let dt = build(&pts);
+        let q = Point2::new(qx, qy);
+        let tri = dt.locate(q).expect("in-region point located");
+        prop_assert!(dt.triangle_geometry(tri).contains(q));
+    }
+
+    /// Duplicate insertion is always rejected and leaves the structure
+    /// unchanged.
+    #[test]
+    fn duplicates_rejected(pts in interior_points(20), pick in any::<prop::sample::Index>()) {
+        let mut dt = build(&pts);
+        let n = dt.vertex_count();
+        let dup = pts[pick.index(pts.len())];
+        prop_assert!(dt.insert(dup).is_err());
+        prop_assert_eq!(dt.vertex_count(), n);
+    }
+}

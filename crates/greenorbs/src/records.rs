@@ -1,0 +1,116 @@
+//! Record types of the sensing trace.
+
+use serde::{Deserialize, Serialize};
+
+/// Environmental channels recorded by each node, matching the
+/// GreenOrbs deployment (light, temperature, humidity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Channel {
+    /// Illumination in KLux (the paper's referential surface).
+    Light,
+    /// Air temperature in °C.
+    Temperature,
+    /// Relative humidity in %.
+    Humidity,
+}
+
+impl Channel {
+    /// All channels, in storage order.
+    pub const ALL: [Channel; 3] = [Channel::Light, Channel::Temperature, Channel::Humidity];
+
+    /// Unit string for display.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Channel::Light => "KLux",
+            Channel::Temperature => "°C",
+            Channel::Humidity => "%",
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Channel::Light => write!(f, "light"),
+            Channel::Temperature => write!(f, "temperature"),
+            Channel::Humidity => write!(f, "humidity"),
+        }
+    }
+}
+
+/// Static metadata of one sensor node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeMeta {
+    /// Dense node identifier, `0..node_count`.
+    pub id: u32,
+    /// Easting within the forest plot, metres.
+    pub x: f64,
+    /// Northing within the forest plot, metres.
+    pub y: f64,
+}
+
+/// One hourly measurement by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Reporting node.
+    pub node_id: u32,
+    /// Hour index since the start of the trace (hour 0 = the trace's
+    /// `start_hour` on day 0).
+    pub hour: u32,
+    /// Illumination, KLux.
+    pub light: f64,
+    /// Air temperature, °C.
+    pub temperature: f64,
+    /// Relative humidity, %.
+    pub humidity: f64,
+}
+
+impl SensorReading {
+    /// The value of one channel.
+    pub fn channel(&self, channel: Channel) -> f64 {
+        match channel {
+            Channel::Light => self.light,
+            Channel::Temperature => self.temperature,
+            Channel::Humidity => self.humidity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accessors() {
+        let r = SensorReading {
+            node_id: 7,
+            hour: 10,
+            light: 12.5,
+            temperature: 18.0,
+            humidity: 64.0,
+        };
+        assert_eq!(r.channel(Channel::Light), 12.5);
+        assert_eq!(r.channel(Channel::Temperature), 18.0);
+        assert_eq!(r.channel(Channel::Humidity), 64.0);
+    }
+
+    #[test]
+    fn channel_display_and_units() {
+        assert_eq!(Channel::Light.to_string(), "light");
+        assert_eq!(Channel::Light.unit(), "KLux");
+        assert_eq!(Channel::Humidity.unit(), "%");
+        assert_eq!(Channel::ALL.len(), 3);
+    }
+
+    #[test]
+    fn records_serde_round_trip() {
+        let n = NodeMeta {
+            id: 3,
+            x: 1.5,
+            y: 2.5,
+        };
+        let json = serde_json::to_string(&n).unwrap();
+        let back: NodeMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,143 @@
+//! Trace statistics: per-channel daily profiles and node-level
+//! summaries, the sanity checks a trace consumer runs before trusting
+//! the data.
+
+use cps_linalg::Summary;
+
+use crate::records::Channel;
+use crate::{Dataset, TraceError};
+
+/// Hourly profile of one channel: summary statistics per trace hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DailyProfile {
+    /// The profiled channel.
+    pub channel: Channel,
+    /// `per_hour[h]` summarizes every node's reading at hour `h`.
+    pub per_hour: Vec<Summary>,
+}
+
+impl DailyProfile {
+    /// Hour with the highest mean reading, if the trace is non-empty.
+    pub fn peak_hour(&self) -> Option<u32> {
+        (0..self.per_hour.len())
+            .max_by(|&a, &b| {
+                self.per_hour[a]
+                    .mean
+                    .partial_cmp(&self.per_hour[b].mean)
+                    .expect("finite means")
+            })
+            .map(|h| h as u32)
+    }
+}
+
+impl Dataset {
+    /// Computes the hourly profile of one channel over the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::HourOutOfRange`] only for an empty trace
+    /// (zero hours).
+    pub fn daily_profile(&self, channel: Channel) -> Result<DailyProfile, TraceError> {
+        if self.hours() == 0 {
+            return Err(TraceError::HourOutOfRange {
+                hour: 0,
+                available: 0,
+            });
+        }
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); self.hours() as usize];
+        for r in self.readings() {
+            buckets[r.hour as usize].push(r.channel(channel));
+        }
+        Ok(DailyProfile {
+            channel,
+            per_hour: buckets.iter().map(|b| Summary::from_values(b)).collect(),
+        })
+    }
+
+    /// Per-node mean of one channel across the whole trace, indexed by
+    /// node id (0 for nodes that never reported).
+    pub fn node_means(&self, channel: Channel) -> Vec<f64> {
+        let n = self.node_count();
+        let mut sums = vec![0.0; n];
+        let mut counts = vec![0usize; n];
+        for r in self.readings() {
+            let id = r.node_id as usize;
+            if id < n {
+                sums[id] += r.channel(channel);
+                counts[id] += 1;
+            }
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect()
+    }
+
+    /// The node ids with the highest mean reading of `channel` — e.g.
+    /// the sunniest spots of the plot.
+    pub fn top_nodes(&self, channel: Channel, count: usize) -> Vec<u32> {
+        let means = self.node_means(channel);
+        let mut ids: Vec<u32> = (0..means.len() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            means[b as usize]
+                .partial_cmp(&means[a as usize])
+                .expect("finite means")
+        });
+        ids.truncate(count);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForestConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&ForestConfig {
+            node_count: 120,
+            hours: 24,
+            ..ForestConfig::default()
+        })
+    }
+
+    #[test]
+    fn light_profile_peaks_near_noon_and_is_dark_at_night() {
+        let profile = dataset().daily_profile(Channel::Light).unwrap();
+        assert_eq!(profile.per_hour.len(), 24);
+        let peak = profile.peak_hour().unwrap();
+        assert!((10..=14).contains(&peak), "light peaked at {peak}");
+        assert_eq!(profile.per_hour[2].mean, 0.0);
+        assert_eq!(profile.per_hour[2].count, 120);
+    }
+
+    #[test]
+    fn humidity_profile_dips_at_midday() {
+        let profile = dataset().daily_profile(Channel::Humidity).unwrap();
+        let night = profile.per_hour[2].mean;
+        let noon = profile.per_hour[12].mean;
+        assert!(noon < night);
+    }
+
+    #[test]
+    fn node_means_and_top_nodes_are_consistent() {
+        let d = dataset();
+        let means = d.node_means(Channel::Light);
+        assert_eq!(means.len(), 120);
+        let top = d.top_nodes(Channel::Light, 5);
+        assert_eq!(top.len(), 5);
+        // Top nodes really do have the largest means.
+        let floor = means[top[4] as usize];
+        let better: usize = means.iter().filter(|&&m| m > floor).count();
+        assert!(better <= 4);
+        // Sunniest node beats the average node handily.
+        let avg = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(means[top[0] as usize] > avg);
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let d = Dataset::from_records(vec![], vec![], 10.0).unwrap();
+        assert!(d.daily_profile(Channel::Light).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Least-squares solvers built on QR and the normal equations.
+
+use crate::{solve_cholesky, DMatrix, LinalgError, QrDecomposition};
+
+/// Solves `min ‖A·x − b‖₂` by Householder QR (numerically robust choice).
+///
+/// This is the solver the paper's Eqn. 11 calls for: the overdetermined
+/// quadric fit `[x², xy, y²]·[a b c]ᵀ = z` over the samples in a node's
+/// sensing range.
+///
+/// # Errors
+///
+/// * [`LinalgError::Underdetermined`] — fewer rows than columns.
+/// * [`LinalgError::Singular`] — rank-deficient design matrix.
+/// * [`LinalgError::ShapeMismatch`] — `b.len() != a.rows()`.
+/// * [`LinalgError::NonFiniteInput`] — non-finite entries.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{DMatrix, lstsq};
+///
+/// let a = DMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+/// let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((x[1] - 2.0).abs() < 1e-10);
+/// ```
+pub fn lstsq(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    QrDecomposition::new(a)?.solve(b)
+}
+
+/// Solves `min ‖A·x − b‖₂` via the normal equations `AᵀA·x = Aᵀb` with a
+/// Cholesky factorization.
+///
+/// Faster than QR for tall-skinny systems but squares the condition
+/// number; adequate for the well-conditioned local quadric fits.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] — `b.len() != a.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] — rank-deficient design matrix.
+/// * [`LinalgError::NonFiniteInput`] — non-finite entries.
+pub fn lstsq_normal(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let gram = a.gram();
+    let atb = a.transpose_mul_vec(b)?;
+    solve_cholesky(&gram, &atb)
+}
+
+/// Fits a polynomial of the given `degree` to the points `(xs[i], ys[i])`
+/// in the least-squares sense; returns coefficients lowest-order first.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] — `xs` and `ys` differ in length.
+/// * [`LinalgError::Underdetermined`] — fewer points than `degree + 1`.
+/// * [`LinalgError::Singular`] — degenerate abscissae (e.g. all equal).
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::polyfit;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x * x).collect();
+/// let c = polyfit(&xs, &ys, 2).unwrap();
+/// assert!((c[0] - 1.0).abs() < 1e-9 && (c[2] - 2.0).abs() < 1e-9);
+/// ```
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (xs.len(), 1),
+            actual: (ys.len(), 1),
+        });
+    }
+    let n = degree + 1;
+    let mut design = DMatrix::zeros(xs.len(), n);
+    for (r, &x) in xs.iter().enumerate() {
+        let mut p = 1.0;
+        for c in 0..n {
+            design[(r, c)] = p;
+            p *= x;
+        }
+    }
+    lstsq(&design, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadric_design(pts: &[(f64, f64)]) -> DMatrix {
+        let mut d = DMatrix::zeros(pts.len(), 3);
+        for (r, &(x, y)) in pts.iter().enumerate() {
+            d[(r, 0)] = x * x;
+            d[(r, 1)] = x * y;
+            d[(r, 2)] = y * y;
+        }
+        d
+    }
+
+    #[test]
+    fn qr_and_normal_agree_on_quadric_fit() {
+        let pts = [
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (1.0, 2.0),
+            (-1.0, 1.0),
+            (0.5, -0.5),
+        ];
+        let (a, b, c) = (1.5, -0.5, 2.0);
+        let z: Vec<f64> = pts
+            .iter()
+            .map(|&(x, y)| a * x * x + b * x * y + c * y * y)
+            .collect();
+        let design = quadric_design(&pts);
+        let s1 = lstsq(&design, &z).unwrap();
+        let s2 = lstsq_normal(&design, &z).unwrap();
+        for (u, v) in s1.iter().zip(&s2) {
+            assert!((u - v).abs() < 1e-8);
+        }
+        assert!((s1[0] - a).abs() < 1e-9);
+        assert!((s1[1] - b).abs() < 1e-9);
+        assert!((s1[2] - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_minimizes_residual() {
+        // With noise, perturbing the LS solution must not decrease ‖r‖.
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let t = i as f64 / 3.0;
+                (t.cos() * (1.0 + t / 10.0), t.sin() * (1.0 + t / 7.0))
+            })
+            .collect();
+        let z: Vec<f64> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| x * x - 0.3 * x * y + 0.5 * y * y + 0.01 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let design = quadric_design(&pts);
+        let x = lstsq(&design, &z).unwrap();
+        let base: f64 = design
+            .mul_vec(&x)
+            .unwrap()
+            .iter()
+            .zip(&z)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum();
+        for delta in [[1e-3, 0.0, 0.0], [0.0, -1e-3, 0.0], [0.0, 0.0, 1e-3]] {
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + d).collect();
+            let perturbed: f64 = design
+                .mul_vec(&xp)
+                .unwrap()
+                .iter()
+                .zip(&z)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum();
+            assert!(perturbed >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn polyfit_recovers_line_and_checks_shapes() {
+        let c = polyfit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0], 1).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-10);
+        assert!((c[1] - 2.0).abs() < 1e-10);
+        assert!(polyfit(&[0.0, 1.0], &[1.0], 1).is_err());
+        assert!(polyfit(&[0.0, 1.0], &[1.0, 2.0], 2).is_err()); // underdetermined
+        assert!(polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1).is_err()); // singular
+    }
+}

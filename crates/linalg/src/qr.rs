@@ -1,0 +1,271 @@
+//! Householder QR decomposition.
+
+use crate::{DMatrix, LinalgError};
+
+/// The result of a Householder QR decomposition `A = Q·R` of an `m×n`
+/// matrix with `m ≥ n`.
+///
+/// `Q` is stored implicitly as a sequence of Householder reflectors; the
+/// decomposition supports applying `Qᵀ` to a vector (all that least
+/// squares requires) without materializing `Q`.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{DMatrix, QrDecomposition};
+///
+/// let a = DMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+/// let qr = QrDecomposition::new(&a).unwrap();
+/// // Solve least squares: fit z = c0 + c1*x through (0,1), (1,3), (2,5).
+/// let x = qr.solve(&[1.0, 3.0, 5.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-10);
+/// assert!((x[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Packed factorization: R in the upper triangle, Householder vectors
+    /// below the diagonal (LAPACK-style), row-major `m×n`.
+    packed: Vec<f64>,
+    /// Scalar `tau` coefficients of the reflectors.
+    taus: Vec<f64>,
+    m: usize,
+    n: usize,
+}
+
+impl QrDecomposition {
+    /// Computes the QR decomposition of `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Underdetermined`] — fewer rows than columns.
+    /// * [`LinalgError::NonFiniteInput`] — non-finite entries.
+    pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFiniteInput);
+        }
+        let mut packed = a.as_slice().to_vec();
+        let mut taus = vec![0.0; n];
+
+        for k in 0..n {
+            // Compute the norm of column k below (and including) row k.
+            let mut norm_sq = 0.0;
+            for r in k..m {
+                let v = packed[r * n + k];
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let akk = packed[k * n + k];
+            // Choose sign to avoid cancellation.
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // Householder vector v = x - alpha*e1, normalized so v[0] = 1.
+            let v0 = akk - alpha;
+            // tau = 2 / (vᵀv) with v[0]=1 scaling: standard LAPACK formula.
+            let mut vtv = v0 * v0;
+            for r in k + 1..m {
+                let v = packed[r * n + k];
+                vtv += v * v;
+            }
+            if vtv == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let tau = 2.0 * v0 * v0 / vtv;
+            // Store normalized vector below diagonal (v[0] implicit = 1).
+            for r in k + 1..m {
+                packed[r * n + k] /= v0;
+            }
+            packed[k * n + k] = alpha;
+            taus[k] = tau;
+
+            // Apply reflector to the remaining columns.
+            for c in k + 1..n {
+                // w = vᵀ · A[:, c]
+                let mut w = packed[k * n + c];
+                for r in k + 1..m {
+                    w += packed[r * n + k] * packed[r * n + c];
+                }
+                w *= tau;
+                packed[k * n + c] -= w;
+                for r in k + 1..m {
+                    let vk = packed[r * n + k];
+                    packed[r * n + c] -= w * vk;
+                }
+            }
+        }
+
+        Ok(QrDecomposition { packed, taus, m, n })
+    }
+
+    /// Number of rows of the original matrix.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns of the original matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(r, c)` of the triangular factor `R` (zero below the
+    /// diagonal).
+    pub fn r(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "R index out of bounds");
+        if r <= c {
+            self.packed[r * self.n + c]
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns `true` if `R` has a (numerically) zero diagonal entry,
+    /// i.e. the original matrix is column-rank-deficient.
+    pub fn is_rank_deficient(&self) -> bool {
+        (0..self.n).any(|k| self.packed[k * self.n + k].abs() < 1e-12)
+    }
+
+    /// Applies `Qᵀ` to `b` in place (length `m`).
+    fn apply_q_transpose(&self, b: &mut [f64]) {
+        let (m, n) = (self.m, self.n);
+        for k in 0..n {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut w = b[k];
+            for r in k + 1..m {
+                w += self.packed[r * n + k] * b[r];
+            }
+            w *= tau;
+            b[k] -= w;
+            for r in k + 1..m {
+                b[r] -= w * self.packed[r * n + k];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂` using this
+    /// decomposition.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] — `b.len() != rows()`.
+    /// * [`LinalgError::Singular`] — `A` was column-rank-deficient.
+    /// * [`LinalgError::NonFiniteInput`] — non-finite right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.m {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.m, 1),
+                actual: (b.len(), 1),
+            });
+        }
+        if b.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFiniteInput);
+        }
+        if self.is_rank_deficient() {
+            return Err(LinalgError::Singular);
+        }
+        let mut qtb = b.to_vec();
+        self.apply_q_transpose(&mut qtb);
+        // Back-substitute R·x = (Qᵀb)[0..n].
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut s = qtb[r];
+            for c in r + 1..n {
+                s -= self.r(r, c) * x[c];
+            }
+            x[r] = s / self.r(r, r);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_solves_square_system_exactly() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(
+            QrDecomposition::new(&a),
+            Err(LinalgError::Underdetermined { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.is_rank_deficient());
+        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal() {
+        // Overdetermined fit; residual must be orthogonal to column space.
+        let a = DMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [0.1, 0.9, 2.1, 2.9];
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| q - p).collect();
+        let at_r = a.transpose_mul_vec(&resid).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-10, "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn qr_r_factor_upper_triangular_and_consistent() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert_eq!(qr.rows(), 3);
+        assert_eq!(qr.cols(), 2);
+        assert_eq!(qr.r(1, 0), 0.0);
+        // RᵀR must equal AᵀA (Q orthogonal).
+        let g = a.gram();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += qr.r(k, i) * qr.r(k, j);
+                }
+                assert!((s - g[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_bad_rhs() {
+        let a = DMatrix::identity(2);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+        assert!(qr.solve(&[f64::NAN, 1.0]).is_err());
+    }
+}

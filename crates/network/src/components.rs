@@ -1,0 +1,155 @@
+//! Disjoint-set (union–find) structure for connected-component queries.
+
+/// A union–find structure with path compression and union by rank.
+///
+/// # Example
+///
+/// ```
+/// use cps_network::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert_eq!(uf.component_count(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they
+    /// were previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets — the paper's `C(G)`.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Dense component labels in `0..component_count()`, by element.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for x in 0..n {
+            let r = self.find(x);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(r).or_insert(next);
+            labels.push(l);
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert_eq!(uf.component_count(), 5);
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        uf.union(4, 5);
+        let labels = uf.labels();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+        let max = *labels.iter().max().unwrap();
+        assert_eq!(max + 1, uf.component_count());
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for connectivity structures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building connectivity structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// The communication radius must be a positive finite number.
+    InvalidRadius,
+    /// A node position was NaN or infinite.
+    NonFinitePosition,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::InvalidRadius => {
+                write!(f, "communication radius must be positive and finite")
+            }
+            NetworkError::NonFinitePosition => {
+                write!(f, "node position was NaN or infinite")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetworkError::InvalidRadius.to_string().contains("radius"));
+        assert!(NetworkError::NonFinitePosition.to_string().contains("NaN"));
+    }
+}

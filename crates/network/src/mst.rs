@@ -1,0 +1,165 @@
+//! Prim's minimum spanning tree.
+//!
+//! The paper's foresight step "is carried out by prim algorithm that
+//! searching the minimum cost spanning tree" (Section 4.2); the MST here
+//! runs over either raw points (complete Euclidean graph) or an explicit
+//! weight matrix (the inter-component gap graph).
+
+use cps_geometry::Point2;
+
+/// Minimum spanning tree of the complete Euclidean graph over `points`,
+/// as a list of `(i, j)` edges (`points.len() − 1` of them; empty for
+/// fewer than two points).
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::Point2;
+/// use cps_network::prim_mst;
+///
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(10.0, 0.0),
+/// ];
+/// let mst = prim_mst(&pts);
+/// assert_eq!(mst.len(), 2);
+/// // Total weight is 1 + 9, never 1 + 10.
+/// let total: f64 = mst.iter().map(|&(a, b)| pts[a].distance(pts[b])).sum();
+/// assert!((total - 10.0).abs() < 1e-12);
+/// ```
+pub fn prim_mst(points: &[Point2]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    prim_mst_weighted(n, |i, j| points[i].distance(points[j]))
+}
+
+/// Prim's MST over `n` vertices with an arbitrary symmetric weight
+/// function. O(n²), appropriate for the dense small graphs of the
+/// foresight step.
+///
+/// Returns `n − 1` edges (empty for `n < 2`). Non-finite weights are
+/// treated as "no edge is preferable", i.e. they lose to any finite
+/// weight.
+pub fn prim_mst_weighted<W: Fn(usize, usize) -> f64>(n: usize, weight: W) -> Vec<(usize, usize)> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_cost = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    in_tree[0] = true;
+    for v in 1..n {
+        best_cost[v] = weight(0, v);
+        best_from[v] = 0;
+    }
+    for _ in 1..n {
+        // Cheapest fringe vertex.
+        let u = (0..n)
+            .filter(|&v| !in_tree[v])
+            .min_by(|&a, &b| {
+                best_cost[a]
+                    .partial_cmp(&best_cost[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("some vertex remains outside the tree");
+        in_tree[u] = true;
+        edges.push((best_from[u], u));
+        for v in 0..n {
+            if !in_tree[v] {
+                let w = weight(u, v);
+                if w < best_cost[v] {
+                    best_cost[v] = w;
+                    best_from[v] = u;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnionFind;
+
+    fn total_weight(pts: &[Point2], edges: &[(usize, usize)]) -> f64 {
+        edges.iter().map(|&(a, b)| pts[a].distance(pts[b])).sum()
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(prim_mst(&[]).is_empty());
+        assert!(prim_mst(&[Point2::ORIGIN]).is_empty());
+        let two = [Point2::ORIGIN, Point2::new(3.0, 4.0)];
+        assert_eq!(prim_mst(&two), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn mst_spans_all_vertices() {
+        let pts: Vec<Point2> = (0..12)
+            .map(|i| {
+                let a = i as f64;
+                Point2::new((a * 1.3).sin() * 10.0, (a * 0.7).cos() * 10.0)
+            })
+            .collect();
+        let edges = prim_mst(&pts);
+        assert_eq!(edges.len(), pts.len() - 1);
+        let mut uf = UnionFind::new(pts.len());
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn mst_weight_matches_brute_force_on_small_instance() {
+        // 6 points: compare Prim against exhaustive spanning trees via
+        // Kruskal-style enumeration (all edge subsets of size n−1).
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 1.0),
+            Point2::new(2.0, 5.0),
+            Point2::new(7.0, 3.0),
+            Point2::new(1.0, 8.0),
+            Point2::new(6.0, 7.0),
+        ];
+        let prim_total = total_weight(&pts, &prim_mst(&pts));
+
+        // Brute force: all C(15, 5) edge subsets.
+        let mut all_edges = Vec::new();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                all_edges.push((i, j));
+            }
+        }
+        let mut best = f64::INFINITY;
+        let m = all_edges.len();
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != pts.len() - 1 {
+                continue;
+            }
+            let mut uf = UnionFind::new(pts.len());
+            let mut w = 0.0;
+            for (bit, &(a, b)) in all_edges.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    uf.union(a, b);
+                    w += pts[a].distance(pts[b]);
+                }
+            }
+            if uf.component_count() == 1 {
+                best = best.min(w);
+            }
+        }
+        assert!((prim_total - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_variant_uses_custom_weights() {
+        // Star weights: vertex 0 cheap to everyone, others expensive.
+        let edges = prim_mst_weighted(4, |i, j| if i == 0 || j == 0 { 1.0 } else { 100.0 });
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|&(a, b)| a == 0 || b == 0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Weighted shortest paths over the communication graph.
+//!
+//! Hop counts come from [`UnitDiskGraph::bfs_hops`]; this module adds
+//! Euclidean-weighted routes — the distances data actually travels —
+//! plus the network diameter used in the robustness reports.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::UnitDiskGraph;
+
+/// A candidate in the Dijkstra frontier (min-heap by distance).
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Euclidean-weighted shortest-path distances from `start` to every
+/// node (`None` = unreachable), by Dijkstra's algorithm.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use cps_geometry::Point2;
+/// use cps_network::{shortest_distances, UnitDiskGraph};
+///
+/// let g = UnitDiskGraph::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(2.0, 0.0)],
+///     1.5,
+/// ).unwrap();
+/// let d = shortest_distances(&g, 0);
+/// assert_eq!(d[2], Some(2.0)); // via the middle node
+/// ```
+pub fn shortest_distances(graph: &UnitDiskGraph, start: usize) -> Vec<Option<f64>> {
+    let n = graph.node_count();
+    assert!(start < n, "start node out of range");
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[start] = Some(0.0);
+    heap.push(Frontier {
+        dist: 0.0,
+        node: start,
+    });
+    while let Some(Frontier { dist: d, node: u }) = heap.pop() {
+        if dist[u].map_or(true, |best| d > best + 1e-12) {
+            continue; // stale entry
+        }
+        for &v in graph.neighbors(u) {
+            let w = graph.position(u).distance(graph.position(v));
+            let cand = d + w;
+            if dist[v].map_or(true, |best| cand < best - 1e-12) {
+                dist[v] = Some(cand);
+                heap.push(Frontier { dist: cand, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// The network's Euclidean diameter: the largest finite shortest-path
+/// distance over all pairs, or `None` for an empty/disconnected graph
+/// where no pair is reachable.
+pub fn network_diameter(graph: &UnitDiskGraph) -> Option<f64> {
+    let n = graph.node_count();
+    let mut best: Option<f64> = None;
+    for start in 0..n {
+        for d in shortest_distances(graph, start).into_iter().flatten() {
+            if d > 0.0 {
+                best = Some(best.map_or(d, |b: f64| b.max(d)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_geometry::Point2;
+
+    fn l_shape() -> UnitDiskGraph {
+        // 0-(0,0), 1-(1,0), 2-(1,1): path 0→2 must route via 1
+        // (0 and 2 are √2 apart, beyond the radius).
+        UnitDiskGraph::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(1.0, 1.0),
+            ],
+            1.2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routes_around_missing_edges() {
+        let g = l_shape();
+        let d = shortest_distances(&g, 0);
+        assert_eq!(d[0], Some(0.0));
+        assert_eq!(d[1], Some(1.0));
+        assert_eq!(d[2], Some(2.0));
+    }
+
+    #[test]
+    fn prefers_the_direct_edge_when_present() {
+        let g = UnitDiskGraph::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(3.0, 4.0), // 5 away, directly reachable
+                Point2::new(3.0, 0.0),
+            ],
+            6.0,
+        )
+        .unwrap();
+        let d = shortest_distances(&g, 0);
+        assert!((d[1].unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let g = UnitDiskGraph::new(
+            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
+            1.0,
+        )
+        .unwrap();
+        let d = shortest_distances(&g, 0);
+        assert_eq!(d[1], None);
+        assert_eq!(network_diameter(&g), None);
+    }
+
+    #[test]
+    fn diameter_of_a_chain() {
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 2.0, 0.0)).collect();
+        let g = UnitDiskGraph::new(pts, 2.0).unwrap();
+        assert_eq!(network_diameter(&g), Some(8.0));
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_spacing() {
+        // With all edges the same length, weighted distance = hops × len.
+        let pts: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let g = UnitDiskGraph::new(pts, 1.0).unwrap();
+        let hops = g.bfs_hops(0);
+        let dist = shortest_distances(&g, 0);
+        for i in 0..6 {
+            assert!((dist[i].unwrap() - hops[i].unwrap() as f64).abs() < 1e-12);
+        }
+    }
+}

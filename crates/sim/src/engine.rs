@@ -1,0 +1,604 @@
+//! The simulation world and stepping engine.
+
+use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
+use cps_core::ostd::lcm;
+use cps_core::{CoreError, CpsConfig};
+use cps_field::TimeVaryingField;
+use cps_geometry::{Point2, Rect};
+use cps_network::UnitDiskGraph;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Node capabilities (`Rc`, `Rs`, `v`, `β`).
+    pub cps: CpsConfig,
+    /// Minutes per time slot (the paper steps once per minute).
+    pub time_step: f64,
+    /// Spacing of the sensing sample lattice within `Rs`; the paper's
+    /// `m = ⌊πRs²⌋` corresponds to a 1 m lattice.
+    pub sense_spacing: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cps: CpsConfig::default(),
+            time_step: 1.0,
+            sense_spacing: 1.0,
+        }
+    }
+}
+
+/// State of one mobile node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobileNode {
+    /// Stable node index.
+    pub id: usize,
+    /// Current position.
+    pub position: Point2,
+    /// Most recent self-estimated Gaussian curvature (shared with
+    /// neighbors in the periodic exchange).
+    pub curvature: f64,
+    /// Cumulative distance traveled.
+    pub traveled: f64,
+    /// Whether the node is still operational. Failed nodes stop
+    /// sensing, moving and relaying (see [`Simulation::fail_node`]).
+    pub alive: bool,
+}
+
+/// What one simulation step did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Simulation time *after* the step, minutes.
+    pub time: f64,
+    /// Nodes that moved this slot (CMA or LCM).
+    pub moved: usize,
+    /// Nodes relocated by the local connectivity mechanism.
+    pub lcm_followers: usize,
+    /// Largest displacement this slot.
+    pub max_displacement: f64,
+    /// Single-hop messages exchanged this slot: every alive edge
+    /// carries the `(x, y, G)` report in both directions (Table 2 lines
+    /// 4–5), and every mover broadcasts one `tell(nd, N)` (line 17).
+    pub messages: usize,
+}
+
+/// A running OSTD simulation over a time-varying field.
+#[derive(Debug, Clone)]
+pub struct Simulation<F> {
+    field: F,
+    region: Rect,
+    config: SimConfig,
+    cma: CmaConfig,
+    nodes: Vec<MobileNode>,
+    time: f64,
+    /// Decaying running maximum of observed node curvatures — the
+    /// gossiped normalization reference fed to every CMA step.
+    curvature_scale: f64,
+}
+
+impl<F: TimeVaryingField> Simulation<F> {
+    /// Creates a simulation with nodes at `initial_positions`, starting
+    /// the clock at `start_time` (minutes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when a position lies
+    /// outside `region`, positions are empty, or the time step is not
+    /// positive.
+    pub fn new(
+        field: F,
+        region: Rect,
+        config: SimConfig,
+        initial_positions: Vec<Point2>,
+        start_time: f64,
+    ) -> Result<Self, CoreError> {
+        if initial_positions.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "initial_positions",
+                requirement: "must contain at least one node",
+            });
+        }
+        if initial_positions.iter().any(|p| !region.contains(*p)) {
+            return Err(CoreError::InvalidParameter {
+                name: "initial_positions",
+                requirement: "must lie inside the region",
+            });
+        }
+        if !(config.time_step > 0.0) || !config.time_step.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "time_step",
+                requirement: "must be positive and finite",
+            });
+        }
+        if !(config.sense_spacing > 0.0) || config.sense_spacing > config.cps.sensing_radius() {
+            return Err(CoreError::InvalidParameter {
+                name: "sense_spacing",
+                requirement: "must be positive and no larger than the sensing radius",
+            });
+        }
+        let nodes = initial_positions
+            .into_iter()
+            .enumerate()
+            .map(|(id, position)| MobileNode {
+                id,
+                position,
+                curvature: 0.0,
+                traveled: 0.0,
+                alive: true,
+            })
+            .collect();
+        let mut sim = Simulation {
+            field,
+            region,
+            cma: CmaConfig::from_cps(&config.cps),
+            config,
+            nodes,
+            time: start_time,
+            curvature_scale: 0.0,
+        };
+        // Pre-movement sensing pass: every node estimates its initial
+        // curvature so the first exchange (and the gossiped
+        // normalization scale) start from real data instead of zeros.
+        for i in 0..sim.nodes.len() {
+            let p = sim.nodes[i].position;
+            debug_assert!(sim.nodes[i].alive);
+            let sensed = sim.sense(p);
+            let value = sim.field.value_at(p, sim.time);
+            let g = cps_core::ostd::fit_quadric(p, value, &sensed)?.gaussian_curvature();
+            sim.nodes[i].curvature = g;
+        }
+        sim.curvature_scale = sim
+            .nodes
+            .iter()
+            .map(|n| n.curvature.abs())
+            .fold(0.0, f64::max);
+        Ok(sim)
+    }
+
+    /// Current simulation time, minutes.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The region of interest.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The simulation parameters.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Node states.
+    pub fn nodes(&self) -> &[MobileNode] {
+        &self.nodes
+    }
+
+    /// Positions of the *alive* nodes (the operating network).
+    pub fn positions(&self) -> Vec<Point2> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.position)
+            .collect()
+    }
+
+    /// Number of operational nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Fails node `id`: it stops sensing, moving, and relaying from the
+    /// next step on (failure injection for robustness experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown id or a
+    /// node that already failed.
+    pub fn fail_node(&mut self, id: usize) -> Result<(), CoreError> {
+        match self.nodes.get_mut(id) {
+            Some(node) if node.alive => {
+                node.alive = false;
+                Ok(())
+            }
+            Some(_) => Err(CoreError::InvalidParameter {
+                name: "id",
+                requirement: "node already failed",
+            }),
+            None => Err(CoreError::InvalidParameter {
+                name: "id",
+                requirement: "must identify an existing node",
+            }),
+        }
+    }
+
+    /// The time-varying field being explored.
+    pub fn field(&self) -> &F {
+        &self.field
+    }
+
+    /// Overrides the CMA curvature gain (see
+    /// [`CmaConfig::curvature_gain`]) for subsequent steps.
+    pub fn set_curvature_gain(&mut self, gain: f64) {
+        self.cma.curvature_gain = gain;
+    }
+
+    /// Overrides the CMA peak-attraction gain (see
+    /// [`CmaConfig::peak_gain`]) for subsequent steps.
+    pub fn set_peak_gain(&mut self, gain: f64) {
+        self.cma.peak_gain = gain;
+    }
+
+    /// Overrides the CMA stop threshold for subsequent steps.
+    pub fn set_stop_threshold(&mut self, threshold: f64) {
+        self.cma.stop_threshold = threshold;
+    }
+
+    /// Overrides the CMA curvature-weight significance floor (see
+    /// [`CmaConfig::weight_floor`]) for subsequent steps.
+    pub fn set_weight_floor(&mut self, floor: f64) {
+        self.cma.weight_floor = floor;
+    }
+
+    /// Overrides the CMA weight exponent (see
+    /// [`CmaConfig::weight_exponent`]) for subsequent steps.
+    pub fn set_weight_exponent(&mut self, exponent: f64) {
+        self.cma.weight_exponent = exponent;
+    }
+
+    /// The CMA parameters in effect.
+    pub fn cma_config(&self) -> &CmaConfig {
+        &self.cma
+    }
+
+    /// Everything a node senses within `Rs`: `(position, value)` on the
+    /// configured lattice.
+    ///
+    /// Sensing deliberately reaches *outside* the region of interest: a
+    /// physical sensor near the border still measures its full
+    /// surroundings. Clipping the disc at the border would hand border
+    /// nodes one-sided sample sets whose quadric fits alias the local
+    /// gradient into phantom curvature, sending them chasing artefacts.
+    fn sense(&self, center: Point2) -> Vec<(Point2, f64)> {
+        let rs = self.config.cps.sensing_radius();
+        let s = self.config.sense_spacing;
+        let steps = (rs / s).floor() as i32;
+        let mut out = Vec::with_capacity(((2 * steps + 1) * (2 * steps + 1)) as usize);
+        for dx in -steps..=steps {
+            for dy in -steps..=steps {
+                let p = Point2::new(center.x + dx as f64 * s, center.y + dy as f64 * s);
+                if center.distance(p) <= rs {
+                    out.push((p, self.field.value_at(p, self.time)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances the simulation by one time slot.
+    ///
+    /// Phases (all decisions use only slot-start information, matching
+    /// the synchronous single-hop exchange of Table 2):
+    ///
+    /// 1. every node senses and runs its CMA iteration, producing a
+    ///    desired destination (or stay);
+    /// 2. desired moves are clamped to the node speed `v·Δt`;
+    /// 3. the LCM pass lets announced moves drag would-be-stranded
+    ///    neighbors along (their own moves are also speed-clamped);
+    /// 4. positions update, clamped to the region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CMA failures (insufficient sensing samples — cannot
+    /// happen with a valid configuration).
+    pub fn step(&mut self) -> Result<StepReport, CoreError> {
+        let rc = self.config.cps.comm_radius();
+        let max_move = self.config.cps.max_speed() * self.config.time_step;
+        // All per-slot arrays below are indexed by *alive index*; the
+        // mapping back to stable node ids is `alive_ids`.
+        let alive_ids: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.id)
+            .collect();
+        let positions = self.positions();
+        let graph = UnitDiskGraph::new(positions.clone(), rc)?;
+        let mut messages = 2 * graph.edge_count();
+
+        // Phase 1: sense + curvature + CMA decision per node.
+        let mut desired: Vec<Option<Point2>> = vec![None; alive_ids.len()];
+        let mut new_curvature = vec![0.0; alive_ids.len()];
+        for i in 0..alive_ids.len() {
+            let p = positions[i];
+            let sensed = self.sense(p);
+            let neighbors: Vec<NeighborInfo> = graph
+                .neighbors(i)
+                .iter()
+                .map(|&j| NeighborInfo {
+                    position: positions[j],
+                    curvature: self.nodes[alive_ids[j]].curvature,
+                })
+                .collect();
+            let value = self.field.value_at(p, self.time);
+            let mut cfg = self.cma;
+            cfg.curvature_scale = self.curvature_scale;
+            let out = cma_step(p, value, &sensed, &neighbors, &cfg)?;
+            new_curvature[i] = out.curvature;
+            if let CmaAction::MoveTo(dest) = out.action {
+                desired[i] = Some(dest);
+                messages += 1; // the mover's tell(nd, N) broadcast
+            }
+        }
+
+        // Phase 2: speed clamp.
+        let mut next: Vec<Point2> = positions.clone();
+        for i in 0..alive_ids.len() {
+            if let Some(dest) = desired[i] {
+                let step = (dest - positions[i]).clamp_norm(max_move);
+                next[i] = self.region.clamp(positions[i] + step);
+            }
+        }
+
+        // Phase 3: LCM — cooperative connectivity maintenance
+        // (Table 2 lines 19–21 plus the paper's "move cooperatively"
+        // reading). For every mover and each of its slot-start
+        // neighbors, the edge must survive the slot unless a bridge
+        // neighbor covers it (Fig. 4's rule). Repairs are two-sided:
+        // the stranded neighbor closes toward the mover's destination,
+        // and if it cannot keep up within its speed budget the mover
+        // backs off its own move — a follower chasing a runaway at
+        // equal speed would otherwise never re-connect. Iterated to a
+        // fixed point because repairs can invalidate other edges.
+        let mut lcm_followers = 0usize;
+        let mut adjusted = next.clone();
+        const LCM_ROUNDS: usize = 16;
+        for _ in 0..LCM_ROUNDS {
+            let mut changed = false;
+            for i in 0..alive_ids.len() {
+                // Every displaced node broadcasts tell(): CMA movers and
+                // nodes displaced by earlier LCM repairs alike — a
+                // dragged node endangers its own star too.
+                if adjusted[i].distance(positions[i]) <= 1e-12 {
+                    continue;
+                }
+                let nbrs = graph.neighbors(i);
+                for &j in nbrs {
+                    if adjusted[j].distance(adjusted[i]) <= rc {
+                        continue;
+                    }
+                    // Bridged through another of i's former neighbors,
+                    // at planned positions?
+                    let bridged = nbrs.iter().any(|&k| {
+                        k != j
+                            && adjusted[j].distance(adjusted[k]) <= rc
+                            && adjusted[k].distance(adjusted[i]) <= rc
+                    });
+                    if bridged {
+                        continue;
+                    }
+                    // The neighbor closes toward the mover's planned
+                    // position, within its speed budget.
+                    let target = lcm::follow_position(adjusted[j], adjusted[i], 0.98 * rc);
+                    let step = (target - positions[j]).clamp_norm(max_move);
+                    adjusted[j] = self.region.clamp(positions[j] + step);
+                    lcm_followers += 1;
+                    changed = true;
+                    if adjusted[j].distance(adjusted[i]) > rc {
+                        // Still out of reach: the mover gives up part of
+                        // its own progress until the edge holds.
+                        let mut t: f64 = 1.0;
+                        while t > 0.0 {
+                            t -= 0.25;
+                            let candidate = positions[i].lerp(adjusted[i], t.max(0.0));
+                            if candidate.distance(adjusted[j]) <= 0.98 * rc {
+                                adjusted[i] = candidate;
+                                break;
+                            }
+                        }
+                        if adjusted[i].distance(adjusted[j]) > rc {
+                            adjusted[i] = positions[i];
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 4: apply.
+        let mut moved = 0usize;
+        let mut max_displacement = 0.0f64;
+        for (i, &id) in alive_ids.iter().enumerate() {
+            let node = &mut self.nodes[id];
+            let d = node.position.distance(adjusted[i]);
+            if d > 1e-12 {
+                moved += 1;
+            }
+            max_displacement = max_displacement.max(d);
+            node.traveled += d;
+            node.position = adjusted[i];
+            node.curvature = new_curvature[i];
+        }
+        self.time += self.config.time_step;
+        // Update the gossiped curvature reference: running maximum with
+        // a slow decay so the scale tracks the evolving field.
+        let observed = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.curvature.abs())
+            .fold(0.0f64, f64::max);
+        self.curvature_scale = observed.max(0.98 * self.curvature_scale);
+
+        Ok(StepReport {
+            time: self.time,
+            moved,
+            lcm_followers,
+            max_displacement,
+            messages,
+        })
+    }
+
+    /// Steps until the clock reaches `t_end` (minutes), returning the
+    /// last report (or `None` when no step was taken).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::step`] errors.
+    pub fn run_until(&mut self, t_end: f64) -> Result<Option<StepReport>, CoreError> {
+        let mut last = None;
+        while self.time + self.config.time_step <= t_end + 1e-9 {
+            last = Some(self.step()?);
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_field::{GaussianBlob, PeaksField, PlaneField, Static};
+
+    fn region() -> Rect {
+        Rect::square(100.0).unwrap()
+    }
+
+    fn grid16() -> Vec<Point2> {
+        crate::scenario::grid_start(region(), 16)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let f = Static::new(PlaneField::default());
+        assert!(Simulation::new(f, region(), SimConfig::default(), vec![], 0.0).is_err());
+        let f = Static::new(PlaneField::default());
+        let outside = vec![Point2::new(200.0, 0.0)];
+        assert!(Simulation::new(f, region(), SimConfig::default(), outside, 0.0).is_err());
+        let f = Static::new(PlaneField::default());
+        let bad_dt = SimConfig {
+            time_step: 0.0,
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(f, region(), bad_dt, grid16(), 0.0).is_err());
+        let f = Static::new(PlaneField::default());
+        let bad_spacing = SimConfig {
+            sense_spacing: 100.0,
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(f, region(), bad_spacing, grid16(), 0.0).is_err());
+    }
+
+    #[test]
+    fn flat_world_stays_put() {
+        let f = Static::new(PlaneField::new(0.0, 0.0, 3.0));
+        // Spacing 25 > Rc 10: no neighbors, no repulsion, no curvature.
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), grid16(), 0.0).unwrap();
+        let before = sim.positions();
+        let report = sim.step().unwrap();
+        assert_eq!(report.moved, 0);
+        assert_eq!(report.max_displacement, 0.0);
+        assert_eq!(sim.positions(), before);
+        assert_eq!(sim.time(), 1.0);
+    }
+
+    #[test]
+    fn speed_limit_is_respected() {
+        // Strong curvature gradient: nodes want to move Rs = 5 m but may
+        // cover at most v·Δt = 1 m per slot.
+        let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
+        let start = vec![Point2::new(40.0, 50.0), Point2::new(60.0, 50.0)];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let report = sim.step().unwrap();
+        assert!(report.max_displacement <= 1.0 + 1e-9);
+        assert!(report.moved >= 1);
+    }
+
+    #[test]
+    fn travel_accumulates_and_time_advances() {
+        let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
+        let start = vec![Point2::new(42.0, 50.0), Point2::new(58.0, 50.0)];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 600.0).unwrap();
+        sim.run_until(605.0).unwrap();
+        assert_eq!(sim.time(), 605.0);
+        assert!(sim.nodes().iter().any(|n| n.traveled > 0.0));
+        assert!(sim.nodes().iter().all(|n| n.traveled <= 5.0 + 1e-9));
+    }
+
+    #[test]
+    fn message_accounting_matches_topology() {
+        // 3 isolated nodes: zero edges, so messages = movers only.
+        let f = Static::new(PlaneField::new(0.0, 0.0, 1.0));
+        let iso = vec![
+            Point2::new(10.0, 10.0),
+            Point2::new(50.0, 50.0),
+            Point2::new(90.0, 90.0),
+        ];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), iso, 0.0).unwrap();
+        let report = sim.step().unwrap();
+        assert_eq!(report.messages, 0, "flat + isolated = silent network");
+
+        // A connected pair on a flat field: one edge, both directions.
+        let f = Static::new(PlaneField::new(0.0, 0.0, 1.0));
+        let pair = vec![Point2::new(50.0, 50.0), Point2::new(58.0, 50.0)];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), pair, 0.0).unwrap();
+        let report = sim.step().unwrap();
+        // The pair exchanges reports; repulsion (spacing 8 < 9.5) makes
+        // both move, adding two tell() broadcasts.
+        assert_eq!(report.messages, 2 + report.moved);
+    }
+
+    #[test]
+    fn failed_nodes_leave_the_protocol() {
+        let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
+        let start = vec![
+            Point2::new(45.0, 50.0),
+            Point2::new(52.0, 50.0),
+            Point2::new(59.0, 50.0),
+        ];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let busy = sim.step().unwrap();
+        sim.fail_node(1).unwrap();
+        let after = sim.step().unwrap();
+        // With the middle node dead the remaining pair is out of range:
+        // no edges, strictly fewer messages.
+        assert!(after.messages < busy.messages);
+        assert_eq!(sim.alive_count(), 2);
+    }
+
+    #[test]
+    fn nodes_never_leave_the_region() {
+        // Blob just outside pulls nodes toward the border.
+        let f = Static::new(GaussianBlob::isotropic(Point2::new(99.0, 99.0), 50.0, 5.0));
+        let start = vec![Point2::new(97.0, 97.0), Point2::new(94.0, 97.0)];
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        for _ in 0..20 {
+            sim.step().unwrap();
+        }
+        assert!(sim.positions().iter().all(|p| region().contains(*p)));
+    }
+
+    #[test]
+    fn connected_start_stays_connected_under_cma() {
+        // 100 nodes on a 10×10 grid (spacing 10 = Rc): the paper's
+        // Fig. 8(a) initial state. After 30 slots of CMA + LCM the
+        // network must still be connected.
+        let f = Static::new(PeaksField::new(region(), 8.0));
+        let start = crate::scenario::grid_start(region(), 100);
+        let g0 = UnitDiskGraph::new(start.clone(), 10.0).unwrap();
+        assert!(g0.is_connected());
+        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        for _ in 0..30 {
+            sim.step().unwrap();
+        }
+        let g = UnitDiskGraph::new(sim.positions(), 10.0).unwrap();
+        assert!(
+            g.is_connected(),
+            "CMA+LCM broke connectivity: {} components",
+            g.component_count()
+        );
+    }
+}

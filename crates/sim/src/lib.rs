@@ -1,0 +1,48 @@
+//! Discrete-time simulator for mobile CPS nodes running the coordinated
+//! movement algorithm.
+//!
+//! The paper's OSTD experiments (Section 6, Figs. 8–10) drive 100
+//! mobile nodes across a time-varying light field: one time slot per
+//! minute, node speed `v = 1 m/min`, communication radius `Rc = 10 m`,
+//! sensing radius `Rs = 5 m`, `β = 2`. This crate provides that loop:
+//!
+//! * [`Simulation`] — world state (field, region, nodes) and the
+//!   per-slot step: sense → exchange → CMA force step → LCM
+//!   connectivity adjustment → speed-clamped movement;
+//! * [`SimConfig`] — the knobs above;
+//! * [`DeltaTimeline`] / [`ConvergenceDetector`] — the δ(t) series of
+//!   Fig. 10 and its convergence point;
+//! * [`scenario`] — canonical initial deployments.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_field::{PeaksField, Static};
+//! use cps_geometry::Rect;
+//! use cps_sim::{scenario, SimConfig, Simulation};
+//!
+//! let region = Rect::square(100.0).unwrap();
+//! let field = Static::new(PeaksField::new(region, 8.0));
+//! let start = scenario::grid_start(region, 16);
+//! let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+//! sim.step().unwrap();
+//! assert_eq!(sim.positions().len(), 16);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod exploration;
+mod metrics;
+mod sampling;
+pub mod scenario;
+mod trajectory;
+
+pub use engine::{MobileNode, SimConfig, Simulation, StepReport};
+pub use exploration::ExplorationTracker;
+pub use metrics::{ConvergenceDetector, DeltaTimeline};
+pub use sampling::{
+    path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank,
+};
+pub use trajectory::TrajectoryRecorder;

@@ -1,0 +1,183 @@
+//! Simulation metrics: the δ(t) timeline of Fig. 10 and convergence
+//! detection.
+
+use cps_core::{evaluate_deployment, CoreError, DeploymentEvaluation};
+use cps_field::TimeVaryingField;
+use cps_geometry::GridSpec;
+
+use crate::Simulation;
+
+/// A recorded series of `(time, δ)` samples — the paper's Fig. 10.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaTimeline {
+    samples: Vec<(f64, DeploymentEvaluation)>,
+}
+
+impl DeltaTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        DeltaTimeline::default()
+    }
+
+    /// Evaluates the simulation *now* — reconstructing the surface from
+    /// the current node positions against the field frozen at the
+    /// current time — and appends the sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`evaluate_deployment`] errors (fewer than 3 distinct
+    /// node positions).
+    pub fn record<F: TimeVaryingField>(
+        &mut self,
+        sim: &Simulation<F>,
+        grid: &GridSpec,
+    ) -> Result<DeploymentEvaluation, CoreError> {
+        let frozen = sim.field().at_time(sim.time());
+        let eval = evaluate_deployment(
+            &frozen,
+            &sim.positions(),
+            sim.config().cps.comm_radius(),
+            grid,
+        )?;
+        self.samples.push((sim.time(), eval));
+        Ok(eval)
+    }
+
+    /// The recorded `(time, evaluation)` samples, in record order.
+    pub fn samples(&self) -> &[(f64, DeploymentEvaluation)] {
+        &self.samples
+    }
+
+    /// Just the `(time, δ)` pairs.
+    pub fn delta_series(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|&(t, e)| (t, e.delta)).collect()
+    }
+
+    /// The smallest recorded δ, if any samples exist.
+    pub fn best_delta(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, e)| e.delta)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite deltas"))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Declares convergence when the maximum per-slot displacement stays
+/// below a tolerance for a whole window of consecutive slots — the
+/// "nodes barely move" state of the paper's Fig. 9.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    tolerance: f64,
+    window: usize,
+    quiet_slots: usize,
+    converged_at: Option<f64>,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector: convergence = `window` consecutive slots
+    /// with max displacement below `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `tolerance` is negative.
+    pub fn new(tolerance: f64, window: usize) -> Self {
+        assert!(window > 0, "window must be at least one slot");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        ConvergenceDetector {
+            tolerance,
+            window,
+            quiet_slots: 0,
+            converged_at: None,
+        }
+    }
+
+    /// Feeds one step's maximum displacement at time `t`; returns
+    /// `true` once converged (latching).
+    pub fn observe(&mut self, t: f64, max_displacement: f64) -> bool {
+        if self.converged_at.is_some() {
+            return true;
+        }
+        if max_displacement <= self.tolerance {
+            self.quiet_slots += 1;
+            if self.quiet_slots >= self.window {
+                self.converged_at = Some(t);
+            }
+        } else {
+            self.quiet_slots = 0;
+        }
+        self.converged_at.is_some()
+    }
+
+    /// The time convergence latched, if it did.
+    pub fn converged_at(&self) -> Option<f64> {
+        self.converged_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scenario, SimConfig};
+    use cps_field::{PeaksField, Static};
+    use cps_geometry::Rect;
+
+    #[test]
+    fn timeline_records_decreasing_delta_on_static_field() {
+        let region = Rect::square(100.0).unwrap();
+        let field = Static::new(PeaksField::new(region, 8.0));
+        let start = scenario::grid_start(region, 100);
+        let mut sim =
+            Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let grid = GridSpec::new(region, 41, 41).unwrap();
+        let mut timeline = DeltaTimeline::new();
+        timeline.record(&sim, &grid).unwrap();
+        for _ in 0..10 {
+            sim.step().unwrap();
+        }
+        timeline.record(&sim, &grid).unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert!(!timeline.is_empty());
+        let series = timeline.delta_series();
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[1].0, 10.0);
+        assert_eq!(timeline.best_delta().unwrap(), series[0].1.min(series[1].1));
+    }
+
+    #[test]
+    fn convergence_latches_after_quiet_window() {
+        let mut det = ConvergenceDetector::new(0.1, 3);
+        assert!(!det.observe(1.0, 0.5)); // loud
+        assert!(!det.observe(2.0, 0.05));
+        assert!(!det.observe(3.0, 0.05));
+        assert!(det.observe(4.0, 0.05)); // third quiet slot
+        assert_eq!(det.converged_at(), Some(4.0));
+        // Latching: later loud slots don't un-converge.
+        assert!(det.observe(5.0, 10.0));
+    }
+
+    #[test]
+    fn convergence_resets_on_movement() {
+        let mut det = ConvergenceDetector::new(0.1, 2);
+        assert!(!det.observe(1.0, 0.0));
+        assert!(!det.observe(2.0, 1.0)); // reset
+        assert!(!det.observe(3.0, 0.0));
+        assert!(det.observe(4.0, 0.0));
+        assert_eq!(det.converged_at(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        ConvergenceDetector::new(0.1, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Canonical initial deployments for OSTD experiments.
+
+use cps_core::osd::baselines;
+use cps_geometry::{Point2, Rect};
+use rand::Rng;
+
+/// The paper's initial state for the OSTD experiments: `k` nodes on a
+/// uniform grid (Fig. 8(a) uses `k = 100`, a 10×10 grid whose 10 m
+/// spacing equals `Rc`, so the network starts connected).
+pub fn grid_start(region: Rect, k: usize) -> Vec<Point2> {
+    baselines::uniform_grid_deployment(region, k)
+}
+
+/// A centred `⌈√k⌉ × ⌈√k⌉` grid with an explicit lattice `spacing`.
+///
+/// Starting the mobile network with spacing strictly inside `Rc`
+/// (e.g. `0.93·Rc`) leaves every lattice edge slack: a one-slot move
+/// no longer strands all four neighbors at once, so LCM repairs stay
+/// local instead of chain-dragging the whole lattice.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, or if the grid at this spacing does not fit
+/// inside the region.
+pub fn grid_start_spaced(region: Rect, k: usize, spacing: f64) -> Vec<Point2> {
+    assert!(k > 0, "a deployment needs at least one node");
+    let n = (k as f64).sqrt().ceil() as usize;
+    let span = spacing * (n - 1) as f64;
+    assert!(
+        span <= region.width() && span <= region.height(),
+        "grid span {span} exceeds the region"
+    );
+    let x0 = region.center().x - span / 2.0;
+    let y0 = region.center().y - span / 2.0;
+    let mut out = Vec::with_capacity(k);
+    'outer: for j in 0..n {
+        for i in 0..n {
+            if out.len() == k {
+                break 'outer;
+            }
+            out.push(Point2::new(
+                x0 + spacing * i as f64,
+                y0 + spacing * j as f64,
+            ));
+        }
+    }
+    out
+}
+
+/// A random connected-ish start: random positions re-drawn (up to
+/// `attempts` times) until the deployment is connected at `comm_radius`;
+/// falls back to the grid start when randomness cannot produce one.
+pub fn random_connected_start<R: Rng + ?Sized>(
+    region: Rect,
+    k: usize,
+    comm_radius: f64,
+    attempts: usize,
+    rng: &mut R,
+) -> Vec<Point2> {
+    for _ in 0..attempts {
+        let pts = baselines::random_deployment(region, k, rng);
+        if let Ok(g) = cps_network::UnitDiskGraph::new(pts.clone(), comm_radius) {
+            if g.is_connected() {
+                return pts;
+            }
+        }
+    }
+    grid_start(region, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_network::UnitDiskGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_start_of_100_is_connected_at_rc10() {
+        let region = Rect::square(100.0).unwrap();
+        let pts = grid_start(region, 100);
+        assert_eq!(pts.len(), 100);
+        let g = UnitDiskGraph::new(pts, 10.0).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_connected_start_is_connected_or_grid() {
+        let region = Rect::square(50.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = random_connected_start(region, 30, 20.0, 50, &mut rng);
+        let g = UnitDiskGraph::new(pts, 20.0).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn impossible_random_falls_back_to_grid() {
+        // Tiny radius: random will never connect; must fall back.
+        let region = Rect::square(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = random_connected_start(region, 9, 0.001, 3, &mut rng);
+        assert_eq!(pts, grid_start(region, 9));
+    }
+}

@@ -1,0 +1,127 @@
+//! Trajectory recording: per-node movement histories for analysis and
+//! rendering.
+
+use cps_field::TimeVaryingField;
+use cps_geometry::Point2;
+
+use crate::Simulation;
+
+/// Recorded movement histories, one polyline per node id.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryRecorder {
+    /// `tracks[id]` = the recorded `(time, position)` sequence.
+    tracks: Vec<Vec<(f64, Point2)>>,
+}
+
+impl TrajectoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TrajectoryRecorder::default()
+    }
+
+    /// Snapshots every node's current position (call once per step;
+    /// failed nodes simply stop extending their track).
+    pub fn record<F: TimeVaryingField>(&mut self, sim: &Simulation<F>) {
+        if self.tracks.len() < sim.nodes().len() {
+            self.tracks.resize(sim.nodes().len(), Vec::new());
+        }
+        let t = sim.time();
+        for node in sim.nodes().iter().filter(|n| n.alive) {
+            self.tracks[node.id].push((t, node.position));
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn node_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The recorded track of one node (empty slice for unknown ids).
+    pub fn track(&self, id: usize) -> &[(f64, Point2)] {
+        self.tracks.get(id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Polyline length of one node's recorded movement.
+    pub fn path_length(&self, id: usize) -> f64 {
+        let t = self.track(id);
+        t.windows(2).map(|w| w[0].1.distance(w[1].1)).sum()
+    }
+
+    /// The node that traveled farthest, with its path length.
+    pub fn longest_track(&self) -> Option<(usize, f64)> {
+        (0..self.tracks.len())
+            .map(|id| (id, self.path_length(id)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lengths"))
+    }
+
+    /// Linear interpolation of a node's position at time `t` (clamped
+    /// to the recorded interval); `None` when the track is empty.
+    pub fn position_at(&self, id: usize, t: f64) -> Option<Point2> {
+        let track = self.track(id);
+        let (first, last) = (track.first()?, track.last()?);
+        if t <= first.0 {
+            return Some(first.1);
+        }
+        if t >= last.0 {
+            return Some(last.1);
+        }
+        let hi = track.partition_point(|&(tt, _)| tt <= t);
+        let (t0, p0) = track[hi - 1];
+        let (t1, p1) = track[hi];
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        Some(p0.lerp(p1, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scenario, SimConfig, Simulation};
+    use cps_field::{GaussianBlob, Static};
+    use cps_geometry::Rect;
+
+    fn tracked_sim() -> TrajectoryRecorder {
+        let region = Rect::square(50.0).unwrap();
+        let field = Static::new(GaussianBlob::isotropic(
+            cps_geometry::Point2::new(25.0, 25.0),
+            30.0,
+            6.0,
+        ));
+        let start = scenario::grid_start_spaced(region, 9, 9.3);
+        let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut rec = TrajectoryRecorder::new();
+        rec.record(&sim);
+        for _ in 0..10 {
+            sim.step().unwrap();
+            rec.record(&sim);
+        }
+        rec
+    }
+
+    #[test]
+    fn tracks_grow_and_lengths_are_bounded_by_speed() {
+        let rec = tracked_sim();
+        assert_eq!(rec.node_count(), 9);
+        for id in 0..9 {
+            assert_eq!(rec.track(id).len(), 11);
+            // 10 steps at ≤ 1 m/min.
+            assert!(rec.path_length(id) <= 10.0 + 1e-9);
+        }
+        let (_, longest) = rec.longest_track().unwrap();
+        assert!(longest > 0.0, "somebody must have moved toward the blob");
+    }
+
+    #[test]
+    fn position_interpolates_and_clamps() {
+        let rec = tracked_sim();
+        let track = rec.track(0);
+        let (t0, p0) = track[0];
+        let (t1, p1) = track[1];
+        assert_eq!(rec.position_at(0, t0 - 10.0), Some(p0));
+        let mid = rec.position_at(0, (t0 + t1) / 2.0).unwrap();
+        assert!((mid.distance(p0.midpoint(p1))) < 1e-9);
+        let last = *track.last().unwrap();
+        assert_eq!(rec.position_at(0, last.0 + 99.0), Some(last.1));
+        assert_eq!(rec.position_at(42, 0.0), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Scenario tests for the simulator: behaviours that only show up in
+//! multi-step, multi-feature runs.
+
+use cps_field::{DriftingField, GaussianBlob, GaussianMixtureField, Static, TimeVaryingField};
+use cps_geometry::{GridSpec, Point2, Rect};
+use cps_linalg::Vec2;
+use cps_network::UnitDiskGraph;
+use cps_sim::{
+    scenario, ConvergenceDetector, DeltaTimeline, ExplorationTracker, PathSampleBank, SimConfig,
+    Simulation, TrajectoryRecorder,
+};
+
+fn hotspot_world() -> (Rect, Static<GaussianMixtureField>) {
+    let region = Rect::square(100.0).unwrap();
+    let field = Static::new(GaussianMixtureField::new(
+        2.0,
+        vec![
+            GaussianBlob::isotropic(Point2::new(30.0, 65.0), 28.0, 6.0),
+            GaussianBlob::isotropic(Point2::new(70.0, 30.0), 24.0, 6.5),
+        ],
+    ));
+    (region, field)
+}
+
+#[test]
+fn swarm_densifies_near_hotspots() {
+    let (region, field) = hotspot_world();
+    let start = scenario::grid_start_spaced(region, 64, 9.3);
+    let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+    let near_hotspots = |positions: &[Point2]| -> usize {
+        positions
+            .iter()
+            .filter(|p| {
+                p.distance(Point2::new(30.0, 65.0)) < 15.0
+                    || p.distance(Point2::new(70.0, 30.0)) < 15.0
+            })
+            .count()
+    };
+    let before = near_hotspots(&sim.positions());
+    for _ in 0..40 {
+        sim.step().unwrap();
+    }
+    let after = near_hotspots(&sim.positions());
+    assert!(
+        after > before,
+        "density near hotspots should grow: {before} -> {after}"
+    );
+    assert!(UnitDiskGraph::new(sim.positions(), 10.0)
+        .unwrap()
+        .is_connected());
+}
+
+#[test]
+fn all_instrumentation_composes_in_one_run() {
+    // Timeline + trajectories + exploration + path samples on the same
+    // simulation, over a drifting field.
+    let region = Rect::square(80.0).unwrap();
+    let base = GaussianMixtureField::new(
+        2.0,
+        vec![GaussianBlob::isotropic(Point2::new(40.0, 40.0), 25.0, 7.0)],
+    );
+    let field = DriftingField::new(base, Vec2::new(0.05, 0.0));
+    let start = scenario::grid_start_spaced(region, 36, 9.3);
+    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 0.0).unwrap();
+
+    let grid = GridSpec::new(region, 33, 33).unwrap();
+    let mut timeline = DeltaTimeline::new();
+    let mut tracks = TrajectoryRecorder::new();
+    let mut exploration = ExplorationTracker::new(grid);
+    let mut bank = PathSampleBank::new(50_000);
+    let mut detector = ConvergenceDetector::new(0.02, 5);
+
+    tracks.record(&sim);
+    exploration.record(&sim);
+    bank.record(&sim);
+    timeline.record(&sim, &grid).unwrap();
+
+    for _ in 0..25 {
+        let report = sim.step().unwrap();
+        tracks.record(&sim);
+        exploration.record(&sim);
+        bank.record(&sim);
+        detector.observe(report.time, report.max_displacement);
+    }
+    timeline.record(&sim, &grid).unwrap();
+
+    // Everything recorded consistently.
+    assert_eq!(timeline.len(), 2);
+    assert_eq!(tracks.node_count(), 36);
+    assert_eq!(tracks.track(0).len(), 26);
+    assert!(exploration.coverage() > 0.3);
+    assert_eq!(bank.len(), 26 * 36);
+    // The drifting field means the reconstruction instant matters: the
+    // timeline's two samples were taken against different field states,
+    // both finite.
+    for (t, eval) in timeline.samples() {
+        assert!(eval.delta.is_finite(), "at t={t}");
+    }
+    // Cross-check: the field at the two instants differs.
+    let p = Point2::new(40.0, 40.0);
+    assert_ne!(field.value_at(p, 0.0), field.value_at(p, 25.0));
+}
+
+#[test]
+fn larger_speed_budget_converges_no_slower() {
+    // With a higher speed limit the swarm reaches its equilibrium in
+    // fewer slots (or equal), never more δ at the shared horizon.
+    let (region, field) = hotspot_world();
+    let grid = GridSpec::new(region, 33, 33).unwrap();
+    let mut deltas = Vec::new();
+    for speed in [0.5, 2.0] {
+        let cps = cps_core::CpsConfig::builder()
+            .max_speed(speed)
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            cps,
+            ..SimConfig::default()
+        };
+        let start = scenario::grid_start_spaced(region, 36, 9.3);
+        let mut sim = Simulation::new(field.clone(), region, config, start, 0.0).unwrap();
+        for _ in 0..20 {
+            sim.step().unwrap();
+        }
+        let mut timeline = DeltaTimeline::new();
+        deltas.push(timeline.record(&sim, &grid).unwrap().delta);
+    }
+    // Faster nodes get at least as close to the equilibrium layout.
+    assert!(
+        deltas[1] <= deltas[0] * 1.1,
+        "fast {} vs slow {}",
+        deltas[1],
+        deltas[0]
+    );
+}

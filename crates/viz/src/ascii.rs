@@ -1,0 +1,115 @@
+//! ASCII renderings for terminal inspection.
+
+use cps_field::Field;
+use cps_geometry::{GridSpec, Point2, Rect};
+
+/// Density ramp from dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a field as an ASCII heatmap of `cols × rows` characters
+/// (row 0 printed last, so north is up).
+///
+/// Values are normalized to the field's range over the given grid; a
+/// constant field renders as all-minimum characters.
+pub fn ascii_heatmap<F: Field>(field: &F, grid: &GridSpec, cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0, "heatmap needs at least one cell");
+    let rect = grid.rect();
+    let samples = field.sample_grid(grid);
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-300);
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            let p = Point2::new(
+                rect.min().x + rect.width() * (c as f64 + 0.5) / cols as f64,
+                rect.min().y + rect.height() * (r as f64 + 0.5) / rows as f64,
+            );
+            let v = (field.value(p) - min) / range;
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders node positions as an ASCII scatter over `region`
+/// (`*` = one node, digits 2–9 for multiplicity, `#` for ten or more).
+pub fn ascii_scatter(positions: &[Point2], region: Rect, cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0, "scatter needs at least one cell");
+    let mut counts = vec![0usize; cols * rows];
+    for p in positions {
+        if !region.contains(*p) {
+            continue;
+        }
+        let c = (((p.x - region.min().x) / region.width()) * cols as f64) as usize;
+        let r = (((p.y - region.min().y) / region.height()) * rows as f64) as usize;
+        counts[r.min(rows - 1) * cols + c.min(cols - 1)] += 1;
+    }
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            out.push(match counts[r * cols + c] {
+                0 => '.',
+                1 => '*',
+                n @ 2..=9 => std::char::from_digit(n as u32, 10).expect("digit"),
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_field::PlaneField;
+
+    #[test]
+    fn heatmap_shape_and_gradient() {
+        let region = Rect::square(10.0).unwrap();
+        let grid = GridSpec::new(region, 11, 11).unwrap();
+        let art = ascii_heatmap(&PlaneField::new(1.0, 0.0, 0.0), &grid, 20, 5);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.len() == 20));
+        // Left edge darkest, right edge brightest.
+        assert!(lines[0].starts_with(' '));
+        assert!(lines[0].ends_with('@'));
+    }
+
+    #[test]
+    fn constant_field_renders_uniformly() {
+        let region = Rect::square(10.0).unwrap();
+        let grid = GridSpec::new(region, 5, 5).unwrap();
+        let art = ascii_heatmap(&PlaneField::new(0.0, 0.0, 7.0), &grid, 8, 3);
+        assert!(art.lines().all(|l| l.chars().all(|c| c == ' ')));
+    }
+
+    #[test]
+    fn scatter_counts_multiplicity() {
+        let region = Rect::square(10.0).unwrap();
+        let positions = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(1.2, 1.1), // same cell
+            Point2::new(9.0, 9.0),
+            Point2::new(50.0, 50.0), // outside, ignored
+        ];
+        let art = ascii_scatter(&positions, region, 5, 5);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Bottom-left cell (printed last line, first char) holds 2.
+        assert_eq!(lines[4].chars().next().unwrap(), '2');
+        // Top-right holds 1.
+        assert_eq!(lines[0].chars().last().unwrap(), '*');
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_size_panics() {
+        let region = Rect::square(1.0).unwrap();
+        ascii_scatter(&[], region, 0, 5);
+    }
+}

@@ -1,0 +1,93 @@
+//! CSV series export for plotting.
+
+use std::io::{self, Write};
+
+/// Writes a header plus one labelled series per row:
+/// `label,value` lines after a `name,value` header.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_series<W: Write>(
+    mut w: W,
+    name: &str,
+    series: &[(String, f64)],
+) -> io::Result<()> {
+    writeln!(w, "{name},value")?;
+    for (label, value) in series {
+        writeln!(w, "{label},{value}")?;
+    }
+    Ok(())
+}
+
+/// Writes an `x,y1,y2,...` table with named columns — the natural form
+/// of a figure with several curves over a shared axis.
+///
+/// # Errors
+///
+/// Propagates writer failures; errors if rows have inconsistent arity.
+pub fn write_xy_series<W: Write>(
+    mut w: W,
+    x_name: &str,
+    y_names: &[&str],
+    rows: &[(f64, Vec<f64>)],
+) -> io::Result<()> {
+    write!(w, "{x_name}")?;
+    for n in y_names {
+        write!(w, ",{n}")?;
+    }
+    writeln!(w)?;
+    for (x, ys) in rows {
+        if ys.len() != y_names.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("row for x={x} has {} values, expected {}", ys.len(), y_names.len()),
+            ));
+        }
+        write!(w, "{x}")?;
+        for y in ys {
+            write!(w, ",{y}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_format() {
+        let mut buf = Vec::new();
+        write_series(
+            &mut buf,
+            "k",
+            &[("1".to_string(), 0.5), ("2".to_string(), 0.25)],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "k,value\n1,0.5\n2,0.25\n");
+    }
+
+    #[test]
+    fn xy_table_format() {
+        let mut buf = Vec::new();
+        write_xy_series(
+            &mut buf,
+            "t",
+            &["fra", "random"],
+            &[(0.0, vec![1.0, 2.0]), (1.0, vec![0.5, 1.5])],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "t,fra,random\n0,1,2\n1,0.5,1.5\n");
+    }
+
+    #[test]
+    fn xy_table_rejects_ragged_rows() {
+        let mut buf = Vec::new();
+        let err = write_xy_series(&mut buf, "t", &["a"], &[(0.0, vec![1.0, 2.0])]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,54 @@
+//! Portable graymap (PGM) export — a dependency-free image format every
+//! viewer understands.
+
+use cps_field::Field;
+use cps_geometry::{GridSpec, Point2};
+
+/// Rasterizes a field over the grid's region into a binary 8-bit PGM
+/// image (`P5`), `width × height` pixels, bright = high.
+pub fn field_to_pgm<F: Field>(field: &F, grid: &GridSpec, width: usize, height: usize) -> Vec<u8> {
+    assert!(width > 0 && height > 0, "image needs at least one pixel");
+    let rect = grid.rect();
+    let samples = field.sample_grid(grid);
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-300);
+
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    for r in 0..height {
+        // Row 0 is the top of the image = the region's north edge.
+        let y = rect.min().y + rect.height() * (1.0 - (r as f64 + 0.5) / height as f64);
+        for c in 0..width {
+            let x = rect.min().x + rect.width() * (c as f64 + 0.5) / width as f64;
+            let v = (field.value(Point2::new(x, y)) - min) / range;
+            out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_field::PlaneField;
+    use cps_geometry::Rect;
+
+    #[test]
+    fn pgm_header_and_size() {
+        let region = Rect::square(10.0).unwrap();
+        let grid = GridSpec::new(region, 5, 5).unwrap();
+        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 16, 8);
+        let header_end = img.windows(4).position(|w| w == b"255\n").unwrap() + 4;
+        assert!(img.starts_with(b"P5\n16 8\n255\n"));
+        assert_eq!(img.len() - header_end, 16 * 8);
+    }
+
+    #[test]
+    fn gradient_goes_left_to_right() {
+        let region = Rect::square(10.0).unwrap();
+        let grid = GridSpec::new(region, 5, 5).unwrap();
+        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 10, 1);
+        let pixels = &img[img.len() - 10..];
+        assert!(pixels[0] < pixels[9]);
+    }
+}

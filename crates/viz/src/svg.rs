@@ -1,0 +1,156 @@
+//! SVG export of deployment topologies: nodes, communication edges,
+//! and optional trajectories — a publication-quality counterpart of
+//! the ASCII scatter.
+
+use cps_geometry::{Point2, Rect};
+
+/// Options for [`topology_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgStyle {
+    /// Canvas width in pixels (height follows the region aspect).
+    pub width: u32,
+    /// Node disc radius in pixels.
+    pub node_radius: f64,
+    /// Node fill color.
+    pub node_color: String,
+    /// Edge stroke color.
+    pub edge_color: String,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        SvgStyle {
+            width: 600,
+            node_radius: 4.0,
+            node_color: "#1f77b4".to_string(),
+            edge_color: "#bbbbbb".to_string(),
+        }
+    }
+}
+
+/// Renders a deployment as an SVG document: `edges` as line segments
+/// under `positions` as discs, mapped from `region` coordinates
+/// (y up) to SVG pixels (y down).
+pub fn topology_svg(
+    positions: &[Point2],
+    edges: &[(usize, usize)],
+    region: Rect,
+    style: &SvgStyle,
+) -> String {
+    let scale = f64::from(style.width) / region.width();
+    let height = (region.height() * scale).ceil();
+    let map = |p: Point2| -> (f64, f64) {
+        (
+            (p.x - region.min().x) * scale,
+            height - (p.y - region.min().y) * scale,
+        )
+    };
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">\n",
+        style.width, height as u32, style.width, height as u32
+    );
+    svg.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for &(a, b) in edges {
+        if a >= positions.len() || b >= positions.len() {
+            continue;
+        }
+        let (x1, y1) = map(positions[a]);
+        let (x2, y2) = map(positions[b]);
+        svg.push_str(&format!(
+            "  <line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke=\"{}\" stroke-width=\"1\"/>\n",
+            style.edge_color
+        ));
+    }
+    for &p in positions {
+        let (cx, cy) = map(p);
+        svg.push_str(&format!(
+            "  <circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{}\" fill=\"{}\"/>\n",
+            style.node_radius, style.node_color
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders polylines (trajectories) over the region as an SVG path
+/// layer; combine with [`topology_svg`] output by hand or embed alone.
+pub fn trajectories_svg(tracks: &[Vec<Point2>], region: Rect, style: &SvgStyle) -> String {
+    let scale = f64::from(style.width) / region.width();
+    let height = (region.height() * scale).ceil();
+    let map = |p: Point2| -> (f64, f64) {
+        (
+            (p.x - region.min().x) * scale,
+            height - (p.y - region.min().y) * scale,
+        )
+    };
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">\n",
+        style.width, height as u32, style.width, height as u32
+    );
+    for track in tracks {
+        if track.len() < 2 {
+            continue;
+        }
+        let mut d = String::new();
+        for (i, &p) in track.iter().enumerate() {
+            let (x, y) = map(p);
+            d.push_str(&format!("{}{x:.1} {y:.1} ", if i == 0 { "M" } else { "L" }));
+        }
+        svg.push_str(&format!(
+            "  <path d=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\"/>\n",
+            d.trim_end(),
+            style.node_color
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::square(100.0).unwrap()
+    }
+
+    #[test]
+    fn svg_contains_all_elements() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(50.0, 50.0)];
+        let svg = topology_svg(&pts, &[(0, 1)], region(), &SvgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn coordinates_are_flipped_and_scaled() {
+        // Bottom-left region corner maps to bottom-left of the canvas
+        // (y grows downward in SVG).
+        let pts = vec![Point2::new(0.0, 0.0)];
+        let svg = topology_svg(&pts, &[], region(), &SvgStyle::default());
+        assert!(svg.contains("cx=\"0.0\" cy=\"600.0\""), "{svg}");
+    }
+
+    #[test]
+    fn out_of_range_edges_are_skipped() {
+        let pts = vec![Point2::new(1.0, 1.0)];
+        let svg = topology_svg(&pts, &[(0, 7)], region(), &SvgStyle::default());
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn trajectories_render_as_paths() {
+        let tracks = vec![
+            vec![Point2::new(0.0, 0.0), Point2::new(10.0, 10.0), Point2::new(20.0, 5.0)],
+            vec![Point2::new(50.0, 50.0)], // too short, skipped
+        ];
+        let svg = trajectories_svg(&tracks, region(), &SvgStyle::default());
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert!(svg.contains("M0.0"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Textual summaries of deployment topologies.
+
+use cps_geometry::Point2;
+
+/// One-paragraph summary of a deployment: node count, bounding box,
+/// mean nearest-neighbor spacing.
+pub fn topology_summary(positions: &[Point2]) -> String {
+    if positions.is_empty() {
+        return "empty deployment".to_string();
+    }
+    let mut min = positions[0];
+    let mut max = positions[0];
+    for p in positions {
+        min = Point2::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point2::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let mut nn_total = 0.0;
+    let mut nn_count = 0usize;
+    for (i, a) in positions.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        for (j, b) in positions.iter().enumerate() {
+            if i != j {
+                best = best.min(a.distance(*b));
+            }
+        }
+        if best.is_finite() {
+            nn_total += best;
+            nn_count += 1;
+        }
+    }
+    let mean_nn = if nn_count > 0 {
+        nn_total / nn_count as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{} nodes in [{:.1}, {:.1}]x[{:.1}, {:.1}], mean nearest-neighbor spacing {:.2}",
+        positions.len(),
+        min.x,
+        max.x,
+        min.y,
+        max.y,
+        mean_nn
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty() {
+        assert_eq!(topology_summary(&[]), "empty deployment");
+    }
+
+    #[test]
+    fn summary_of_square() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+            Point2::new(10.0, 10.0),
+        ];
+        let s = topology_summary(&pts);
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("[0.0, 10.0]x[0.0, 10.0]"));
+        assert!(s.contains("10.00"));
+    }
+
+    #[test]
+    fn summary_of_single_node() {
+        let s = topology_summary(&[Point2::new(1.0, 2.0)]);
+        assert!(s.contains("1 nodes"));
+    }
+}

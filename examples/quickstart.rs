@@ -1,0 +1,47 @@
+//! Quickstart: place a small stationary CPS deployment on a known
+//! surface and inspect the reconstruction it achieves.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cps::core::evaluate_deployment;
+use cps::core::osd::FraBuilder;
+use cps::field::{Field, PeaksField, ReconstructedSurface};
+use cps::geometry::{GridSpec, Rect};
+use cps::viz::{ascii_heatmap, ascii_scatter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The environment: Matlab's classic `peaks` surface over a
+    // 100 x 100 m region (the paper's Fig. 3 benchmark).
+    let region = Rect::square(100.0)?;
+    let reference = PeaksField::new(region, 8.0);
+    let grid = GridSpec::new(region, 101, 101)?;
+
+    println!("the real environment:");
+    println!("{}", ascii_heatmap(&reference, &grid, 60, 22));
+
+    // Place 25 nodes with communication radius 30 m using the paper's
+    // foresighted refinement algorithm: sample where the current
+    // reconstruction errs most, while keeping the network connectable.
+    let k = 25;
+    let result = FraBuilder::new(k, 30.0).grid(grid).run(&reference)?;
+    println!(
+        "FRA placed {} nodes ({} by refinement, {} connectivity relays):",
+        result.positions.len(),
+        result.refined,
+        result.relays
+    );
+    println!("{}", ascii_scatter(&result.positions, region, 60, 22));
+
+    // Rebuild the surface from the node samples and compare.
+    let samples: Vec<f64> = result.positions.iter().map(|&p| reference.value(p)).collect();
+    let rebuilt = ReconstructedSurface::from_samples(region, &result.positions, &samples)?;
+    println!("what the deployment sees (Delaunay reconstruction):");
+    println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 22));
+
+    let eval = evaluate_deployment(&reference, &result.positions, 30.0, &grid)?;
+    println!(
+        "delta = {:.1} (volume difference, Eqn. 2)   rms = {:.2}   connected = {}",
+        eval.delta, eval.rms, eval.connected
+    );
+    Ok(())
+}

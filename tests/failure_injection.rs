@@ -1,0 +1,93 @@
+//! Integration: node-failure injection during a CMA run — the swarm
+//! must keep operating with the survivors.
+
+use cps::field::{GaussianBlob, GaussianMixtureField, Static};
+use cps::geometry::{GridSpec, Point2, Rect};
+use cps::network::UnitDiskGraph;
+use cps::sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+
+fn field() -> Static<GaussianMixtureField> {
+    Static::new(GaussianMixtureField::new(
+        2.0,
+        vec![
+            GaussianBlob::isotropic(Point2::new(30.0, 60.0), 25.0, 6.0),
+            GaussianBlob::isotropic(Point2::new(70.0, 30.0), 20.0, 5.0),
+        ],
+    ))
+}
+
+#[test]
+fn swarm_survives_interior_failures() {
+    let region = Rect::square(100.0).unwrap();
+    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    let grid = GridSpec::new(region, 41, 41).unwrap();
+    let mut timeline = DeltaTimeline::new();
+
+    for _ in 0..5 {
+        sim.step().unwrap();
+    }
+    let before = timeline.record(&sim, &grid).unwrap();
+    assert_eq!(sim.alive_count(), 49);
+
+    // Kill five nodes spread across the lattice.
+    for id in [8usize, 17, 24, 33, 40] {
+        sim.fail_node(id).unwrap();
+    }
+    assert_eq!(sim.alive_count(), 44);
+    assert_eq!(sim.positions().len(), 44);
+
+    // The survivors keep stepping without panicking, stay in-region,
+    // and the reconstruction remains usable (bounded degradation).
+    for _ in 0..15 {
+        sim.step().unwrap();
+    }
+    let after = timeline.record(&sim, &grid).unwrap();
+    assert!(sim.positions().iter().all(|p| region.contains(*p)));
+    assert!(
+        after.delta < 3.0 * before.delta,
+        "losing 10% of nodes should not triple delta: {} -> {}",
+        before.delta,
+        after.delta
+    );
+    // Dead nodes no longer move or accumulate travel.
+    let dead = &sim.nodes()[8];
+    assert!(!dead.alive);
+    let traveled_at_death = dead.traveled;
+    let position_at_death = dead.position;
+    assert_eq!(sim.nodes()[8].traveled, traveled_at_death);
+    assert_eq!(sim.nodes()[8].position, position_at_death);
+}
+
+#[test]
+fn failure_api_validates_ids() {
+    let region = Rect::square(50.0).unwrap();
+    let start = scenario::grid_start_spaced(region, 9, 9.3);
+    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    assert!(sim.fail_node(99).is_err());
+    sim.fail_node(4).unwrap();
+    assert!(sim.fail_node(4).is_err(), "double failure must be rejected");
+    assert_eq!(sim.alive_count(), 8);
+}
+
+#[test]
+fn mass_failure_can_partition_but_never_panics() {
+    // Killing a full column of the lattice may split the network — an
+    // honest limitation of local-information repair (LCM cannot rejoin
+    // parts it cannot hear). The simulation must stay sound regardless.
+    let region = Rect::square(100.0).unwrap();
+    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    // Column 3 of the 7×7 grid.
+    for row in 0..7 {
+        sim.fail_node(row * 7 + 3).unwrap();
+    }
+    for _ in 0..10 {
+        sim.step().unwrap();
+    }
+    assert_eq!(sim.alive_count(), 42);
+    let graph = UnitDiskGraph::new(sim.positions(), 10.0).unwrap();
+    // Either the survivors bridged the cut or they split — both are
+    // legal outcomes; the invariant is operational soundness.
+    assert!(graph.component_count() <= 2);
+}

@@ -1,0 +1,96 @@
+//! Integration: the full OSD pipeline — trace → reference surface →
+//! FRA plan → reconstruction → δ — spanning every crate.
+
+use cps::core::evaluate_deployment;
+use cps::core::osd::{baselines, FraBuilder};
+use cps::geometry::{GridSpec, Point2, Rect};
+use cps::greenorbs::{Channel, Dataset, ForestConfig};
+use cps::network::UnitDiskGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario() -> (Dataset, Rect, GridSpec) {
+    let dataset = Dataset::generate(&ForestConfig {
+        node_count: 600,
+        hours: 12,
+        ..ForestConfig::default()
+    });
+    let region = Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).unwrap();
+    let grid = GridSpec::new(region, 51, 51).unwrap();
+    (dataset, region, grid)
+}
+
+#[test]
+fn fra_plan_is_feasible_and_beats_random_at_mid_budget() {
+    let (dataset, region, grid) = scenario();
+    let reference = dataset
+        .region_field(region, Channel::Light, 10, 51)
+        .unwrap();
+
+    let k = 80;
+    let plan = FraBuilder::new(k, 10.0).grid(grid).run(&reference).unwrap();
+    assert_eq!(plan.positions.len(), k);
+    assert_eq!(plan.refined + plan.relays, k);
+
+    let eval = evaluate_deployment(&reference, &plan.positions, 10.0, &grid).unwrap();
+    assert!(eval.connected, "FRA must satisfy the connectivity constraint");
+    assert!(eval.delta.is_finite() && eval.delta > 0.0);
+
+    // Fig. 7's headline: at a healthy mid-range budget FRA beats the
+    // random baseline decisively.
+    let mut deltas = Vec::new();
+    for seed in 0..3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = baselines::random_deployment(region, k, &mut rng);
+        deltas.push(
+            evaluate_deployment(&reference, &pts, 10.0, &grid)
+                .unwrap()
+                .delta,
+        );
+    }
+    let random_mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    assert!(
+        eval.delta < random_mean,
+        "FRA {} should beat random {}",
+        eval.delta,
+        random_mean
+    );
+}
+
+#[test]
+fn more_budget_means_no_worse_reconstruction() {
+    let (dataset, region, grid) = scenario();
+    let reference = dataset
+        .region_field(region, Channel::Light, 10, 51)
+        .unwrap();
+    let small = FraBuilder::new(40, 10.0).grid(grid).run(&reference).unwrap();
+    let large = FraBuilder::new(120, 10.0).grid(grid).run(&reference).unwrap();
+    let es = evaluate_deployment(&reference, &small.positions, 10.0, &grid).unwrap();
+    let el = evaluate_deployment(&reference, &large.positions, 10.0, &grid).unwrap();
+    assert!(
+        el.delta < es.delta,
+        "tripling the budget should reduce delta ({} vs {})",
+        el.delta,
+        es.delta
+    );
+}
+
+#[test]
+fn fra_networks_are_connected_across_budgets_and_radii() {
+    let (dataset, region, grid) = scenario();
+    let reference = dataset
+        .region_field(region, Channel::Light, 10, 51)
+        .unwrap();
+    for k in [5usize, 25, 60] {
+        for rc in [8.0, 12.0, 25.0] {
+            let plan = FraBuilder::new(k, rc).grid(grid).run(&reference).unwrap();
+            let graph = UnitDiskGraph::new(plan.positions.clone(), rc).unwrap();
+            assert!(
+                graph.is_connected(),
+                "k={k} rc={rc}: {} components",
+                graph.component_count()
+            );
+            assert!(plan.positions.iter().all(|p| region.contains(*p)));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration: the full OSTD pipeline — latent environment → mobile
+//! simulation with CMA + LCM → δ timeline — spanning every crate.
+
+use cps::core::evaluate_deployment;
+use cps::field::TimeVaryingField;
+use cps::geometry::{GridSpec, Point2, Rect};
+use cps::greenorbs::{ForestConfig, LatentLightField};
+use cps::network::UnitDiskGraph;
+use cps::sim::{scenario, ConvergenceDetector, DeltaTimeline, SimConfig, Simulation};
+
+fn scenario_setup() -> (LatentLightField, Rect, GridSpec) {
+    let field = LatentLightField::new(&ForestConfig::default());
+    let region = Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).unwrap();
+    let grid = GridSpec::new(region, 51, 51).unwrap();
+    (field, region, grid)
+}
+
+#[test]
+fn cma_keeps_the_network_connected_through_45_minutes() {
+    let (field, region, _grid) = scenario_setup();
+    let start = scenario::grid_start_spaced(region, 100, 9.3);
+    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0).unwrap();
+    // Debug builds run a shortened horizon; release runs the paper's.
+    let horizon = if cfg!(debug_assertions) { 9 } else { 45 };
+    for minute in 1..=horizon {
+        sim.step().unwrap();
+        if minute % 3 == 0 {
+            let graph = UnitDiskGraph::new(sim.positions(), 10.0).unwrap();
+            assert!(
+                graph.is_connected(),
+                "disconnected at minute {minute}: {} components",
+                graph.component_count()
+            );
+        }
+    }
+    // Nobody escaped the region or teleported.
+    assert!(sim.positions().iter().all(|p| region.contains(*p)));
+    assert!(sim
+        .nodes()
+        .iter()
+        .all(|n| n.traveled <= 45.0 + 1e-6));
+}
+
+#[test]
+fn cma_does_not_degrade_the_initial_reconstruction_much() {
+    let (field, region, grid) = scenario_setup();
+    let start = scenario::grid_start_spaced(region, 100, 9.3);
+    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0).unwrap();
+    let mut timeline = DeltaTimeline::new();
+    let e0 = timeline.record(&sim, &grid).unwrap();
+    let horizon = if cfg!(debug_assertions) { 8 } else { 30 };
+    for _ in 0..horizon {
+        sim.step().unwrap();
+    }
+    let e1 = timeline.record(&sim, &grid).unwrap();
+    // The Fig. 10 regime: δ should improve, and must never blow up.
+    assert!(
+        e1.delta < 1.15 * e0.delta,
+        "delta degraded badly: {} -> {}",
+        e0.delta,
+        e1.delta
+    );
+    assert!(timeline.best_delta().unwrap() <= e0.delta);
+}
+
+#[test]
+fn stationary_regime_is_detected_on_a_flat_field() {
+    use cps::field::{PlaneField, Static};
+    let region = Rect::square(100.0).unwrap();
+    let field = Static::new(PlaneField::new(0.0, 0.0, 5.0));
+    // 5×5 cell-centre grid: 20 m spacing keeps nodes out of each
+    // other's communication range, so a flat field exerts no force.
+    let start = scenario::grid_start(region, 25);
+    let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+    let mut detector = ConvergenceDetector::new(0.05, 3);
+    let mut converged = false;
+    for _ in 0..10 {
+        let report = sim.step().unwrap();
+        converged = detector.observe(report.time, report.max_displacement);
+        if converged {
+            break;
+        }
+    }
+    assert!(converged, "flat field must converge almost immediately");
+}
+
+#[test]
+fn evaluation_against_the_moving_truth_uses_the_right_instant() {
+    let (field, region, grid) = scenario_setup();
+    let start = scenario::grid_start_spaced(region, 36, 9.3);
+    let sim = Simulation::new(&field, region, SimConfig::default(), start.clone(), 600.0).unwrap();
+    let mut timeline = DeltaTimeline::new();
+    let recorded = timeline.record(&sim, &grid).unwrap();
+    // Recomputing by hand against the frozen field must agree.
+    let frozen = field.at_time(600.0);
+    let manual = evaluate_deployment(&frozen, &start, 10.0, &grid).unwrap();
+    assert!((recorded.delta - manual.delta).abs() < 1e-9);
+}

@@ -1,0 +1,77 @@
+//! Integration: the trace substrate round-trips through its
+//! interchange formats and stays deterministic.
+
+use cps::field::Field;
+use cps::geometry::{Point2, Rect};
+use cps::greenorbs::{Channel, Dataset, ForestConfig};
+
+fn config() -> ForestConfig {
+    ForestConfig {
+        node_count: 200,
+        hours: 14,
+        ..ForestConfig::default()
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_the_extracted_surface() {
+    let original = Dataset::generate(&config());
+
+    // Export readings to CSV, re-import, rebuild the dataset.
+    let mut csv = Vec::new();
+    original.write_readings_csv(&mut csv).unwrap();
+    let readings = Dataset::read_readings_csv(csv.as_slice()).unwrap();
+    let rebuilt =
+        Dataset::from_records(original.nodes().to_vec(), readings, original.side()).unwrap();
+
+    let region = Rect::new(Point2::new(30.0, 30.0), Point2::new(110.0, 110.0)).unwrap();
+    let a = original
+        .region_field(region, Channel::Light, 10, 31)
+        .unwrap();
+    let b = rebuilt.region_field(region, Channel::Light, 10, 31).unwrap();
+    for (x, y) in a.values().iter().zip(b.values()) {
+        assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn json_round_trip_is_lossless() {
+    let original = Dataset::generate(&config());
+    let json = original.to_json().unwrap();
+    let back = Dataset::from_json(&json).unwrap();
+    assert_eq!(back.node_count(), original.node_count());
+    assert_eq!(back.hours(), original.hours());
+    assert_eq!(back.readings(), original.readings());
+}
+
+#[test]
+fn generation_is_reproducible_and_seed_sensitive() {
+    let a = Dataset::generate(&config());
+    let b = Dataset::generate(&config());
+    assert_eq!(a.readings(), b.readings());
+
+    let other = Dataset::generate(&ForestConfig {
+        seed: 12345,
+        ..config()
+    });
+    assert_ne!(a.readings(), other.readings());
+}
+
+#[test]
+fn channels_are_physically_plausible_at_every_hour() {
+    let dataset = Dataset::generate(&config());
+    let region = Rect::new(Point2::new(30.0, 30.0), Point2::new(110.0, 110.0)).unwrap();
+    for hour in [0u32, 6, 10, 12] {
+        let light = dataset.region_field(region, Channel::Light, hour, 21).unwrap();
+        assert!(light.min_value() >= 0.0, "negative light at hour {hour}");
+        let humidity = dataset
+            .region_field(region, Channel::Humidity, hour, 21)
+            .unwrap();
+        assert!(humidity.min_value() >= 0.0 && humidity.max_value() <= 100.0);
+        let temperature = dataset
+            .region_field(region, Channel::Temperature, hour, 21)
+            .unwrap();
+        assert!(temperature.value(region.center()) > -20.0);
+        assert!(temperature.value(region.center()) < 50.0);
+    }
+}
