@@ -55,9 +55,7 @@ fn bench_scaling_in_m(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("m{}", sensed.len())),
             &sensed,
             |b, sensed| {
-                b.iter(|| {
-                    cma_step(center, field.value(center), sensed, &neighbors, &cfg).unwrap()
-                })
+                b.iter(|| cma_step(center, field.value(center), sensed, &neighbors, &cfg).unwrap())
             },
         );
     }
@@ -73,9 +71,11 @@ fn bench_scaling_in_q(c: &mut Criterion) {
     for q in [2usize, 4, 8, 16, 32] {
         let neighbors = ring_neighbors(center, q, 8.0);
         group.throughput(Throughput::Elements(q as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("q{q}")), &neighbors, |b, n| {
-            b.iter(|| cma_step(center, field.value(center), &sensed, n, &cfg).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{q}")),
+            &neighbors,
+            |b, n| b.iter(|| cma_step(center, field.value(center), &sensed, n, &cfg).unwrap()),
+        );
     }
     group.finish();
 }

@@ -1,7 +1,8 @@
 //! Substrate bench: the quadric fit behind Eqns. 11–13.
 
 use cps_core::ostd::fit_quadric;
-use cps_field::{Field, ParaboloidField};
+use cps_field::par::map_rows;
+use cps_field::{Field, ParaboloidField, Parallelism};
 use cps_geometry::Point2;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -28,5 +29,47 @@ fn bench_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit);
+/// A whole swarm's per-slot curvature sweep (100 nodes, Rs = 5 m) on
+/// the sharded executor, serial vs parallel.
+fn bench_fit_sweep(c: &mut Criterion) {
+    let field = ParaboloidField::new(Point2::new(0.0, 0.0), 0.4, 0.1, 0.3);
+    let rs = 5i32;
+    let centers: Vec<Point2> = (0..100)
+        .map(|i| Point2::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0))
+        .collect();
+    let sample_sets: Vec<Vec<(Point2, f64)>> = centers
+        .iter()
+        .map(|&center| {
+            let mut samples = Vec::new();
+            for dx in -rs..=rs {
+                for dy in -rs..=rs {
+                    let p = Point2::new(center.x + dx as f64, center.y + dy as f64);
+                    if p.distance(center) <= rs as f64 {
+                        samples.push((p, field.value(p)));
+                    }
+                }
+            }
+            samples
+        })
+        .collect();
+    let mut group = c.benchmark_group("quadric_fit_sweep_100");
+    for (label, par) in [
+        ("serial", Parallelism::serial()),
+        ("4t", Parallelism::fixed(4)),
+        ("auto", Parallelism::auto()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, &par| {
+            b.iter(|| {
+                map_rows(centers.len(), par, |i| {
+                    fit_quadric(centers[i], field.value(centers[i]), &sample_sets[i])
+                        .unwrap()
+                        .gaussian_curvature()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_fit_sweep);
 criterion_main!(benches);

@@ -1,12 +1,22 @@
 //! Substrate bench: the δ quadrature (Eqn. 2) and reconstruction.
 
-use cps_core::evaluate_deployment;
 use cps_core::osd::baselines;
-use cps_field::{delta, PeaksField, PlaneField};
+use cps_core::{evaluate_deployment, evaluate_deployment_with};
+use cps_field::{delta, Field, Parallelism, PeaksField, PlaneField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Thread policies exercised by the parallel variants.
+fn policies() -> [(&'static str, Parallelism); 4] {
+    [
+        ("serial", Parallelism::serial()),
+        ("2t", Parallelism::fixed(2)),
+        ("4t", Parallelism::fixed(4)),
+        ("auto", Parallelism::auto()),
+    ]
+}
 
 fn bench_volume_difference(c: &mut Criterion) {
     let region = Rect::square(100.0).unwrap();
@@ -18,6 +28,26 @@ fn bench_volume_difference(c: &mut Criterion) {
     });
 }
 
+/// The parallel engine on the expensive case: δ against a Delaunay
+/// reconstruction (per-point triangle walks) on the 201×201 grid.
+fn bench_volume_difference_parallel(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 201, 201).unwrap();
+    let f = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, 150, &mut rng);
+    let samples: Vec<f64> = nodes.iter().map(|&p| f.value(p)).collect();
+    let g = ReconstructedSurface::from_samples(region, &nodes, &samples).unwrap();
+    let mut group = c.benchmark_group("volume_difference_201x201_reconstructed");
+    group.sample_size(20);
+    for (label, par) in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, &par| {
+            b.iter(|| delta::volume_difference_with(&f, &g, &grid, par))
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_evaluation(c: &mut Criterion) {
     let region = Rect::square(100.0).unwrap();
     let grid = GridSpec::new(region, 101, 101).unwrap();
@@ -27,7 +57,23 @@ fn bench_full_evaluation(c: &mut Criterion) {
     c.bench_function("evaluate_deployment_100_nodes", |b| {
         b.iter(|| evaluate_deployment(&f, &nodes, 10.0, &grid).unwrap().delta)
     });
+    let mut group = c.benchmark_group("evaluate_deployment_100_nodes_par");
+    for (label, par) in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, &par| {
+            b.iter(|| {
+                evaluate_deployment_with(&f, &nodes, 10.0, &grid, par)
+                    .unwrap()
+                    .delta
+            })
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_volume_difference, bench_full_evaluation);
+criterion_group!(
+    benches,
+    bench_volume_difference,
+    bench_volume_difference_parallel,
+    bench_full_evaluation
+);
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 
 use cps_bench::{paper_dataset, paper_region, reference_light_surface, PAPER_RC};
 use cps_core::osd::FraBuilder;
+use cps_field::Parallelism;
 use cps_geometry::GridSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -18,6 +19,28 @@ fn bench_fra(c: &mut Criterion) {
             b.iter(|| {
                 FraBuilder::new(k, PAPER_RC)
                     .grid(grid)
+                    .run(&reference)
+                    .unwrap()
+                    .positions
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // The same planning run on the parallel error-grid engine.
+    let mut group = c.benchmark_group("fra_run_k50_par");
+    group.sample_size(10);
+    for (label, par) in [
+        ("serial", Parallelism::serial()),
+        ("4t", Parallelism::fixed(4)),
+        ("auto", Parallelism::auto()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, &par| {
+            b.iter(|| {
+                FraBuilder::new(50, PAPER_RC)
+                    .grid(grid)
+                    .parallelism(par)
                     .run(&reference)
                     .unwrap()
                     .positions

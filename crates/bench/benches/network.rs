@@ -1,8 +1,8 @@
 //! Substrate bench: connectivity machinery at deployment scale.
 
+use cps_geometry::{coverage_areas, Triangulation};
 use cps_geometry::{Point2, Rect};
 use cps_network::{articulation_points, network_diameter, RelayPlan, UnitDiskGraph};
-use cps_geometry::{coverage_areas, Triangulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -3,7 +3,7 @@
 
 use cps_field::{GaussianBlob, GaussianMixtureField, Static};
 use cps_geometry::{Point2, Rect};
-use cps_sim::{scenario, SimConfig, Simulation};
+use cps_sim::{scenario, CmaBuilder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn environment() -> Static<GaussianMixtureField> {
@@ -26,14 +26,9 @@ fn bench_step(c: &mut Criterion) {
             // Fresh sim per batch so node positions stay comparable.
             b.iter_batched(
                 || {
-                    Simulation::new(
-                        environment(),
-                        region,
-                        SimConfig::default(),
-                        scenario::grid_start_spaced(region, k, 9.3),
-                        0.0,
-                    )
-                    .unwrap()
+                    CmaBuilder::new(region, scenario::grid_start_spaced(region, k, 9.3))
+                        .run(environment())
+                        .unwrap()
                 },
                 |mut sim| {
                     sim.step().unwrap();

@@ -9,7 +9,7 @@
 use cps_bench::{eval_grid, paper_region, PAPER_RC};
 use cps_core::CpsConfig;
 use cps_greenorbs::{ForestConfig, LatentLightField};
-use cps_sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+use cps_sim::{scenario, CmaBuilder, DeltaTimeline, SimConfig};
 
 fn main() {
     let region = paper_region();
@@ -17,16 +17,25 @@ fn main() {
     let grid = eval_grid();
 
     println!("=== Ablation: repulsion weight beta (30 min of CMA, 100 nodes) ===");
-    println!("{:>6} {:>12} {:>12} {:>10}", "beta", "delta_start", "delta_end", "connected");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "beta", "delta_start", "delta_end", "connected"
+    );
     for beta in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let cps = CpsConfig::builder().beta(beta).build().expect("valid config");
+        let cps = CpsConfig::builder()
+            .beta(beta)
+            .build()
+            .expect("valid config");
         let config = SimConfig {
             cps,
             ..SimConfig::default()
         };
         let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
-        let mut sim =
-            Simulation::new(&field, region, config, start, 600.0).expect("sim constructs");
+        let mut sim = CmaBuilder::new(region, start)
+            .config(config)
+            .start_time(600.0)
+            .run(&field)
+            .expect("sim constructs");
         let mut timeline = DeltaTimeline::new();
         let e0 = timeline.record(&sim, &grid).expect("evaluation");
         for _ in 0..30 {

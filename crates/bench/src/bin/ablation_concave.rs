@@ -26,7 +26,10 @@ fn main() {
             .run(&field)
             .expect("FRA succeeds on non-convex input");
         let fe = evaluate_deployment(&field, &fra.positions, 10.0, &grid).expect("evaluation");
-        assert!(fe.connected, "FRA must stay connected even on concave fields");
+        assert!(
+            fe.connected,
+            "FRA must stay connected even on concave fields"
+        );
 
         let mut sum = 0.0;
         for seed in 0..5 {
@@ -37,7 +40,11 @@ fn main() {
                 .delta;
         }
         let random = sum / 5.0;
-        println!("{k:>5} {:>12.1} {random:>12.1} {:>8.2}", fe.delta, fe.delta / random);
+        println!(
+            "{k:>5} {:>12.1} {random:>12.1} {:>8.2}",
+            fe.delta,
+            fe.delta / random
+        );
     }
     println!("\nno panics, connectivity holds: the pipeline degrades gracefully on");
     println!("surfaces that violate the paper's convexity assumption.");

@@ -19,7 +19,11 @@ use cps_network::{RelayPlan, UnitDiskGraph};
 
 /// Pure greedy refinement: FRA with a communication radius so large
 /// that the foresight step never activates.
-fn greedy_positions(reference: &cps_field::GridField, grid: cps_geometry::GridSpec, k: usize) -> Vec<Point2> {
+fn greedy_positions(
+    reference: &cps_field::GridField,
+    grid: cps_geometry::GridSpec,
+    k: usize,
+) -> Vec<Point2> {
     FraBuilder::new(k, 1e6)
         .grid(grid)
         .run(reference)
@@ -50,14 +54,13 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let fe = evaluate_deployment(&reference, &fra.positions, PAPER_RC, &grid)
-            .expect("evaluation");
+        let fe =
+            evaluate_deployment(&reference, &fra.positions, PAPER_RC, &grid).expect("evaluation");
 
         // Naive with overrun: k greedy picks + however many relays.
         let greedy = greedy_positions(&reference, grid, k);
         let repaired = repair(&greedy);
-        let re = evaluate_deployment(&reference, &repaired, PAPER_RC, &grid)
-            .expect("evaluation");
+        let re = evaluate_deployment(&reference, &repaired, PAPER_RC, &grid).expect("evaluation");
 
         // Naive truncated to the same budget: shrink the greedy pick
         // count until picks + repair relays fit within k (damped steps;
@@ -72,8 +75,7 @@ fn main() {
             let over = fixed.len() - k;
             g = g.saturating_sub(over.div_ceil(2).max(1)).max(3);
         };
-        let te = evaluate_deployment(&reference, &truncated, PAPER_RC, &grid)
-            .expect("evaluation");
+        let te = evaluate_deployment(&reference, &truncated, PAPER_RC, &grid).expect("evaluation");
 
         println!(
             "{k:>5} {:>14.1} {:>12.1} ({:>4}) {:>14.1} ({:>4})",

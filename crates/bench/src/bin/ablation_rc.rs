@@ -14,7 +14,10 @@ fn main() {
     let grid = eval_grid();
 
     println!("=== Ablation: communication radius (FRA, k = 60) ===");
-    println!("{:>6} {:>12} {:>8} {:>8} {:>10}", "Rc", "delta", "refined", "relays", "connected");
+    println!(
+        "{:>6} {:>12} {:>8} {:>8} {:>10}",
+        "Rc", "delta", "refined", "relays", "connected"
+    );
     for rc in [5.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0] {
         let fra = FraBuilder::new(60, rc)
             .grid(grid)

@@ -7,7 +7,7 @@
 
 use cps_bench::{eval_grid, paper_region, PAPER_RC};
 use cps_greenorbs::{ForestConfig, LatentLightField};
-use cps_sim::{path_sampling_gain, scenario, PathSampleBank, SimConfig, Simulation};
+use cps_sim::{path_sampling_gain, scenario, CmaBuilder, PathSampleBank};
 
 fn main() {
     let region = paper_region();
@@ -15,22 +15,27 @@ fn main() {
     let grid = eval_grid();
 
     let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0)
+    let mut sim = CmaBuilder::new(region, start)
+        .start_time(600.0)
+        .run(&field)
         .expect("simulation constructs");
     let mut bank = PathSampleBank::new(100_000);
     bank.record(&sim);
 
     println!("=== Extension: trace sampling vs point sampling ===");
     println!("(100 mobile nodes, path samples folded into the reconstruction)\n");
-    println!("{:>7} {:>14} {:>22}", "minute", "point delta", "with path samples");
+    println!(
+        "{:>7} {:>14} {:>22}",
+        "minute", "point delta", "with path samples"
+    );
     for minute in 1..=30 {
         sim.step().expect("step succeeds");
         bank.record(&sim);
         if minute % 10 == 0 {
             // A 10-minute freshness horizon: old samples of the
             // drifting field are discarded.
-            let (point, path) = path_sampling_gain(&sim, &bank, 10.0, &grid)
-                .expect("reconstructions succeed");
+            let (point, path) =
+                path_sampling_gain(&sim, &bank, 10.0, &grid).expect("reconstructions succeed");
             println!(
                 "{minute:>7} {point:>14.1} {path:>15.1} ({:+.1}%)",
                 100.0 * (path - point) / point

@@ -1,0 +1,130 @@
+//! Emits `BENCH_delta.json`: wall-clock timings of the δ quadrature
+//! (Eqn. 2) on the row-sharded parallel engine, serial vs 2/4/auto
+//! threads.
+//!
+//! The workload is the hot path the engine was built for: δ between an
+//! analytic reference and a Delaunay [`ReconstructedSurface`] (every
+//! grid point costs a triangle walk) on a 201×201 grid with 150 nodes.
+//! Results are checked bit-identical across thread counts before any
+//! timing is reported.
+//!
+//! Run with: `cargo run --release -p cps-bench --bin bench_delta_json`
+//! (writes `BENCH_delta.json` in the current directory; pass a path to
+//! override).
+
+use std::env;
+use std::fmt::Write as _;
+use std::fs;
+use std::time::Instant;
+
+use cps_core::osd::baselines;
+use cps_field::{delta, Field, Parallelism, PeaksField, ReconstructedSurface};
+use cps_geometry::{GridSpec, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: usize = 150;
+const RESOLUTION: usize = 201;
+const WARMUP: usize = 3;
+const REPS: usize = 15;
+
+struct Timing {
+    label: &'static str,
+    threads: usize,
+    min_ns: u128,
+    median_ns: u128,
+}
+
+fn main() {
+    let out_path = env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_delta.json".into());
+
+    let region = Rect::square(100.0).expect("square region");
+    let grid = GridSpec::new(region, RESOLUTION, RESOLUTION).expect("grid");
+    let reference = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, NODES, &mut rng);
+    let samples: Vec<f64> = nodes.iter().map(|&p| reference.value(p)).collect();
+    let rebuilt =
+        ReconstructedSurface::from_samples(region, &nodes, &samples).expect("reconstruction");
+
+    let policies: [(&'static str, Parallelism); 4] = [
+        ("serial", Parallelism::serial()),
+        ("2-threads", Parallelism::fixed(2)),
+        ("4-threads", Parallelism::fixed(4)),
+        ("auto", Parallelism::auto()),
+    ];
+
+    // Determinism gate: every policy must reproduce the serial bits.
+    let expected = delta::volume_difference(&reference, &rebuilt, &grid);
+    for (label, par) in policies {
+        let got = delta::volume_difference_with(&reference, &rebuilt, &grid, par);
+        assert_eq!(
+            expected.to_bits(),
+            got.to_bits(),
+            "{label} diverged from serial"
+        );
+    }
+
+    let timings: Vec<Timing> = policies
+        .iter()
+        .map(|&(label, par)| {
+            for _ in 0..WARMUP {
+                delta::volume_difference_with(&reference, &rebuilt, &grid, par);
+            }
+            let mut runs: Vec<u128> = (0..REPS)
+                .map(|_| {
+                    let start = Instant::now();
+                    delta::volume_difference_with(&reference, &rebuilt, &grid, par);
+                    start.elapsed().as_nanos()
+                })
+                .collect();
+            runs.sort_unstable();
+            Timing {
+                label,
+                threads: par.threads(),
+                min_ns: runs[0],
+                median_ns: runs[REPS / 2],
+            }
+        })
+        .collect();
+
+    let serial_median = timings[0].median_ns;
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"volume_difference (Eqn. 2)\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"PeaksField vs ReconstructedSurface({NODES} nodes)\","
+    );
+    let _ = writeln!(json, "  \"grid\": [{RESOLUTION}, {RESOLUTION}],");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"warmup\": {WARMUP},");
+    let _ = writeln!(json, "  \"repetitions\": {REPS},");
+    let _ = writeln!(json, "  \"delta\": {expected},");
+    let _ = writeln!(json, "  \"bit_identical_across_policies\": true,");
+    json.push_str("  \"results\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let speedup = serial_median as f64 / t.median_ns as f64;
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"min_ns\": {}, \"median_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
+            t.label, t.threads, t.min_ns, t.median_ns, speedup
+        );
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    fs::write(&out_path, &json).expect("write BENCH_delta.json");
+    println!("wrote {out_path}");
+    for t in &timings {
+        println!(
+            "  {:>10}: median {:>8.2} ms (x{:.2} vs serial)",
+            t.label,
+            t.median_ns as f64 / 1e6,
+            serial_median as f64 / t.median_ns as f64
+        );
+    }
+}

@@ -30,11 +30,19 @@ fn main() {
     );
 
     let dir = output_dir();
-    fs::write(dir.join("fig1_surface.pgm"), field_to_pgm(&surface, &grid, 404, 404))
-        .expect("write pgm");
+    fs::write(
+        dir.join("fig1_surface.pgm"),
+        field_to_pgm(&surface, &grid, 404, 404),
+    )
+    .expect("write pgm");
     let mut csv = String::from("x,y,klux\n");
     for (i, j, p) in grid.iter() {
-        csv.push_str(&format!("{},{},{}\n", p.x, p.y, surface.values()[grid.flat_index(i, j)]));
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            p.x,
+            p.y,
+            surface.values()[grid.flat_index(i, j)]
+        ));
     }
     fs::write(dir.join("fig1_surface.csv"), csv).expect("write csv");
     println!("wrote {}/fig1_surface.pgm and .csv", dir.display());

@@ -15,7 +15,13 @@ fn print_triangles(dt: &Triangulation) {
         let g = dt.triangle_geometry(*tri);
         println!(
             "  triangle {n}: ({:.0},{:.0}) ({:.0},{:.0}) ({:.0},{:.0})  area {:.0}",
-            g.a.x, g.a.y, g.b.x, g.b.y, g.c.x, g.c.y, g.area()
+            g.a.x,
+            g.a.y,
+            g.b.x,
+            g.b.y,
+            g.c.x,
+            g.c.y,
+            g.area()
         );
     }
 }

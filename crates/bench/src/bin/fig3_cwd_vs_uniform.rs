@@ -8,9 +8,9 @@
 //! both configurations — CWD via the global-information relaxation of
 //! Eqns. 9–10 — and quantifies the claim with δ and total curvature.
 
+use cps_core::osd::baselines::uniform_grid_deployment;
 use cps_core::ostd::cwd::{cwd_metrics, relax_to_cwd};
 use cps_core::ostd::gaussian_curvature_at;
-use cps_core::osd::baselines::uniform_grid_deployment;
 use cps_core::{evaluate_deployment, CpsConfig};
 use cps_field::PeaksField;
 use cps_geometry::{GridSpec, Rect};
@@ -27,8 +27,8 @@ fn main() {
         .unwrap();
 
     let uniform = uniform_grid_deployment(region, 16);
-    let cwd = relax_to_cwd(&field, region, uniform.clone(), &cfg, 120, 2.0)
-        .expect("relaxation succeeds");
+    let cwd =
+        relax_to_cwd(&field, region, uniform.clone(), &cfg, 120, 2.0).expect("relaxation succeeds");
 
     let curvature = |pts: &[cps_geometry::Point2]| -> Vec<f64> {
         pts.iter()

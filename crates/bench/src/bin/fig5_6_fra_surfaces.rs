@@ -7,7 +7,9 @@
 //! scatters, rebuilt-surface heatmaps, δ values, and the refinement /
 //! relay split.
 
-use cps_bench::{eval_grid, output_dir, paper_dataset, paper_region, reference_light_surface, PAPER_RC};
+use cps_bench::{
+    eval_grid, output_dir, paper_dataset, paper_region, reference_light_surface, PAPER_RC,
+};
 use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
 use cps_field::ReconstructedSurface;
@@ -33,7 +35,11 @@ fn main() {
         let eval = evaluate_deployment(&reference, &result.positions, PAPER_RC, &grid)
             .expect("evaluation succeeds");
         use cps_field::Field;
-        let samples: Vec<f64> = result.positions.iter().map(|&p| reference.value(p)).collect();
+        let samples: Vec<f64> = result
+            .positions
+            .iter()
+            .map(|&p| reference.value(p))
+            .collect();
         let rebuilt = ReconstructedSurface::from_samples(region, &result.positions, &samples)
             .expect("reconstruction succeeds");
 
@@ -52,5 +58,8 @@ fn main() {
         )
         .expect("write pgm");
     }
-    println!("\nwrote {}/fig5_rebuilt.pgm and fig6_rebuilt.pgm", dir.display());
+    println!(
+        "\nwrote {}/fig5_rebuilt.pgm and fig6_rebuilt.pgm",
+        dir.display()
+    );
 }

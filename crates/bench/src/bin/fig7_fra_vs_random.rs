@@ -24,9 +24,14 @@ fn main() {
     let region = grid.rect();
 
     println!("=== Fig. 7: delta vs k (FRA vs random), Rc = 10 ===");
-    println!("{:>5} {:>12} {:>12} {:>8} {:>7} {:>7}", "k", "fra", "random", "ratio", "refine", "relay");
+    println!(
+        "{:>5} {:>12} {:>12} {:>8} {:>7} {:>7}",
+        "k", "fra", "random", "ratio", "refine", "relay"
+    );
 
-    let ks = [4usize, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 90, 100, 110, 125, 150, 175, 200];
+    let ks = [
+        4usize, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 90, 100, 110, 125, 150, 175, 200,
+    ];
     let mut rows = Vec::new();
     for &k in &ks {
         let fra = FraBuilder::new(k, PAPER_RC)

@@ -16,7 +16,7 @@ use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
 use cps_field::{GridField, TimeVaryingField};
 use cps_greenorbs::{ForestConfig, LatentLightField};
-use cps_sim::{scenario, DeltaTimeline, ExplorationTracker, SimConfig, Simulation};
+use cps_sim::{scenario, CmaBuilder, DeltaTimeline, ExplorationTracker};
 use cps_viz::{ascii_scatter, write_xy_series};
 use std::fs::File;
 
@@ -28,7 +28,9 @@ fn main() {
     // Fig. 8(a): connected grid start (spacing 0.93·Rc keeps slack
     // inside the communication radius; see cps_sim::scenario docs).
     let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0)
+    let mut sim = CmaBuilder::new(region, start)
+        .start_time(600.0)
+        .run(&field)
         .expect("simulation constructs");
 
     println!("=== Figs. 8-10: 100 mobile nodes, 10:00 -> 10:45 ===");
@@ -39,7 +41,10 @@ fn main() {
     let mut exploration = ExplorationTracker::new(grid);
     exploration.record(&sim);
     let e0 = timeline.record(&sim, &grid).expect("initial evaluation");
-    println!("10:00  delta = {:.1}  connected = {}", e0.delta, e0.connected);
+    println!(
+        "10:00  delta = {:.1}  connected = {}",
+        e0.delta, e0.connected
+    );
 
     let mut rows = vec![(0.0, vec![e0.delta])];
     for minute in 1..=45 {
@@ -75,8 +80,14 @@ fn main() {
     println!("initial delta (10:00):            {:.1}", e0.delta);
     println!("converged CMA delta (10:45):      {last:.1}");
     println!("FRA reference delta:              {:.1}", fra_eval.delta);
-    println!("CMA improvement over start:       {:.1}%", 100.0 * (e0.delta - last) / e0.delta);
-    println!("CMA / FRA ratio:                  {:.2} (paper: ~1.16)", last / fra_eval.delta);
+    println!(
+        "CMA improvement over start:       {:.1}%",
+        100.0 * (e0.delta - last) / e0.delta
+    );
+    println!(
+        "CMA / FRA ratio:                  {:.2} (paper: ~1.16)",
+        last / fra_eval.delta
+    );
     println!(
         "cumulative sensed coverage:       {:.0}% of the region",
         100.0 * exploration.coverage()

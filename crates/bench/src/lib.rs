@@ -32,8 +32,7 @@ pub const EVAL_RESOLUTION: usize = 101;
 
 /// The 100×100 m region of interest inside the forest plot.
 pub fn paper_region() -> Rect {
-    Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0))
-        .expect("paper region is valid")
+    Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).expect("paper region is valid")
 }
 
 /// The canonical synthetic GreenOrbs dataset (deterministic).

@@ -75,7 +75,9 @@ impl Args {
                 .strip_prefix("--")
                 .ok_or_else(|| ArgsError::Malformed(token.clone()))?
                 .to_string();
-            let value = it.next().ok_or_else(|| ArgsError::Malformed(token.clone()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgsError::Malformed(token.clone()))?;
             flags.insert(key, value);
         }
         Ok(Args {
@@ -229,7 +231,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert_eq!(Args::parse(Vec::<String>::new()).unwrap_err(), ArgsError::MissingCommand);
+        assert_eq!(
+            Args::parse(Vec::<String>::new()).unwrap_err(),
+            ArgsError::MissingCommand
+        );
         assert!(matches!(
             parse(&["plan", "k", "80"]).unwrap_err(),
             ArgsError::Malformed(_)
@@ -264,7 +269,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_actionable() {
-        assert!(ArgsError::MissingFlag("k".into()).to_string().contains("--k"));
+        assert!(ArgsError::MissingFlag("k".into())
+            .to_string()
+            .contains("--k"));
         let e = ArgsError::BadValue {
             flag: "rc".into(),
             value: "x".into(),

@@ -3,12 +3,12 @@
 use std::error::Error;
 use std::fs;
 
+use cps_core::analyze_deployment_with;
 use cps_core::osd::FraBuilder;
-use cps_core::analyze_deployment;
-use cps_field::Field;
+use cps_field::{Field, Parallelism};
 use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
-use cps_sim::{scenario, DeltaTimeline, SimConfig, Simulation, TrajectoryRecorder};
+use cps_sim::{scenario, CmaBuilder, DeltaTimeline, TrajectoryRecorder};
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
 
 use crate::args::Args;
@@ -22,13 +22,16 @@ commands:
             synthesize a GreenOrbs-style forest sensing trace
   surface   --trace trace.json [--hour 10] [--resolution 101] [--out surface.pgm]
             extract and render the referential light surface
-  plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv]
+  plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv] [--threads N]
             plan a stationary deployment with FRA and report its quality
-  simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg]
+  simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
             run the CMA mobile swarm on the latent light field
-  report    --trace trace.json --plan plan.csv [--rc 10] [--hour 10]
+  report    --trace trace.json --plan plan.csv [--rc 10] [--hour 10] [--threads N]
             full quality/robustness report for an existing deployment
   help      show this text
+
+--threads selects the worker count for grid sweeps (0 = all cores, the
+default); results are identical at any setting.
 
 the region of interest is the paper's 100x100 m window at (20,20)-(120,120).";
 
@@ -104,19 +107,23 @@ pub fn plan(args: &Args) -> CmdResult {
     let rc = args.f64_or("rc", 10.0)?;
     let hour = args.u32_or("hour", 10)?;
     let out = args.string_or("out", "");
+    let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
     let dataset = load_trace(&trace)?;
     let reference = dataset.region_field(region(), Channel::Light, hour, 101)?;
     let grid = GridSpec::new(region(), 101, 101)?;
-    let result = FraBuilder::new(k, rc).grid(grid).run(&reference)?;
+    let result = FraBuilder::new(k, rc)
+        .grid(grid)
+        .parallelism(par)
+        .run(&reference)?;
     println!(
         "FRA placed {k} nodes: {} refinement picks, {} connectivity relays",
         result.refined, result.relays
     );
     println!("{}", ascii_scatter(&result.positions, region(), 60, 24));
 
-    let report = analyze_deployment(&reference, &result.positions, rc, &grid)?;
+    let report = analyze_deployment_with(&reference, &result.positions, rc, &grid, par)?;
     print_report(&report);
 
     if !out.is_empty() {
@@ -136,6 +143,7 @@ pub fn simulate(args: &Args) -> CmdResult {
     let minutes = args.usize_or("minutes", 45)?;
     let seed = args.u64_or("seed", ForestConfig::default().seed)?;
     let svg_path = args.string_or("svg", "");
+    let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
     let config = ForestConfig {
@@ -145,8 +153,11 @@ pub fn simulate(args: &Args) -> CmdResult {
     let field = LatentLightField::new(&config);
     let grid = GridSpec::new(region(), 101, 101)?;
     let start = scenario::grid_start_spaced(region(), k, 9.3);
-    let mut sim = Simulation::new(&field, region(), SimConfig::default(), start, 600.0)?;
-    let mut timeline = DeltaTimeline::new();
+    let mut sim = CmaBuilder::new(region(), start)
+        .parallelism(par)
+        .start_time(600.0)
+        .run(&field)?;
+    let mut timeline = DeltaTimeline::with_parallelism(par);
     let mut tracks = TrajectoryRecorder::new();
     tracks.record(&sim);
     let e0 = timeline.record(&sim, &grid)?;
@@ -183,6 +194,7 @@ pub fn report(args: &Args) -> CmdResult {
     let plan_path = args.require("plan")?;
     let rc = args.f64_or("rc", 10.0)?;
     let hour = args.u32_or("hour", 10)?;
+    let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
     let dataset = load_trace(&trace)?;
@@ -190,7 +202,7 @@ pub fn report(args: &Args) -> CmdResult {
     let grid = GridSpec::new(region(), 101, 101)?;
     let positions = read_positions_csv(&plan_path)?;
     println!("{} nodes loaded from {plan_path}", positions.len());
-    let report = analyze_deployment(&reference, &positions, rc, &grid)?;
+    let report = analyze_deployment_with(&reference, &positions, rc, &grid, par)?;
     print_report(&report);
     Ok(())
 }

@@ -33,7 +33,11 @@ fn generate_plan_report_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     // plan a deployment
@@ -49,7 +53,11 @@ fn generate_plan_report_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FRA placed 40 nodes"));
     assert!(stdout.contains("deployment report"));
@@ -95,7 +103,11 @@ fn simulate_runs_and_writes_svg() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&svg).unwrap();
     assert!(text.starts_with("<svg"));
     std::fs::remove_dir_all(&dir).ok();

@@ -113,19 +113,19 @@ impl CpsConfigBuilder {
     /// offending parameter.
     pub fn build(&self) -> Result<CpsConfig, CoreError> {
         let c = self.cfg;
-        if !(c.comm_radius > 0.0) || !c.comm_radius.is_finite() {
+        if !c.comm_radius.is_finite() || c.comm_radius <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "comm_radius",
                 requirement: "must be positive and finite",
             });
         }
-        if !(c.sensing_radius > 0.0) || !c.sensing_radius.is_finite() {
+        if !c.sensing_radius.is_finite() || c.sensing_radius <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "sensing_radius",
                 requirement: "must be positive and finite",
             });
         }
-        if !(c.max_speed > 0.0) || !c.max_speed.is_finite() {
+        if !c.max_speed.is_finite() || c.max_speed <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "max_speed",
                 requirement: "must be positive and finite",

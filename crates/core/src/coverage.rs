@@ -26,7 +26,7 @@ use cps_geometry::{GridSpec, Point2};
 /// assert!(partial > 0.0 && partial < 0.5);
 /// ```
 pub fn sensing_coverage(positions: &[Point2], sensing_radius: f64, grid: &GridSpec) -> f64 {
-    if grid.len() == 0 {
+    if grid.is_empty() {
         return 0.0;
     }
     let r2 = sensing_radius * sensing_radius;

@@ -1,7 +1,7 @@
 //! Deployment evaluation: reconstruct from the node samples and measure
 //! the paper's δ against the reference surface.
 
-use cps_field::{delta, Field, ReconstructedSurface};
+use cps_field::{delta, Field, Parallelism, ReconstructedSurface};
 use cps_geometry::{GridSpec, Point2};
 use cps_network::UnitDiskGraph;
 
@@ -63,6 +63,31 @@ pub fn evaluate_deployment<F: Field>(
     })
 }
 
+/// Like [`evaluate_deployment`], but runs the δ and RMS quadratures on
+/// the row-sharded parallel engine. Both metrics are bit-identical to
+/// the serial evaluation at any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_deployment`].
+pub fn evaluate_deployment_with<F: Field + Sync>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> Result<DeploymentEvaluation, CoreError> {
+    let samples: Vec<f64> = positions.iter().map(|&p| reference.value(p)).collect();
+    let surface = ReconstructedSurface::from_samples(grid.rect(), positions, &samples)?;
+    let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
+    Ok(DeploymentEvaluation {
+        delta: delta::volume_difference_with(reference, &surface, grid, par),
+        rms: delta::rms_difference_with(reference, &surface, grid, par),
+        connected: graph.is_connected(),
+        node_count: positions.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +132,27 @@ mod tests {
         let fine = evaluate_deployment(&f, &mk(7), 200.0, &grid).unwrap();
         assert!(fine.delta < coarse.delta);
         assert!(fine.rms < coarse.rms);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let mut nodes: Vec<Point2> = region.corners().to_vec();
+        nodes.push(Point2::new(37.0, 61.0));
+        nodes.push(Point2::new(70.0, 20.0));
+        let serial = evaluate_deployment(&f, &nodes, 200.0, &grid).unwrap();
+        for par in [
+            Parallelism::serial(),
+            Parallelism::fixed(3),
+            Parallelism::auto(),
+        ] {
+            let p = evaluate_deployment_with(&f, &nodes, 200.0, &grid, par).unwrap();
+            assert_eq!(serial.delta.to_bits(), p.delta.to_bits(), "{par:?}");
+            assert_eq!(serial.rms.to_bits(), p.rms.to_bits(), "{par:?}");
+            assert_eq!(serial.connected, p.connected);
+            assert_eq!(serial.node_count, p.node_count);
+        }
     }
 
     #[test]

@@ -59,6 +59,6 @@ mod report;
 pub use config::CpsConfig;
 pub use coverage::{coverage_histogram, sensing_coverage};
 pub use error::CoreError;
-pub use evaluate::{evaluate_deployment, DeploymentEvaluation};
+pub use evaluate::{evaluate_deployment, evaluate_deployment_with, DeploymentEvaluation};
 pub use problem::{OsdProblem, OstdProblem};
-pub use report::{analyze_deployment, DeploymentReport};
+pub use report::{analyze_deployment, analyze_deployment_with, DeploymentReport};

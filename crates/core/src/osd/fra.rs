@@ -22,7 +22,7 @@
 //! samples makes the greedy systematically blind to border error; see
 //! DESIGN.md for the measurement that motivated the change.
 
-use cps_field::Field;
+use cps_field::{Field, Parallelism};
 use cps_geometry::{GridSpec, Point2, Triangulation};
 use cps_network::{RelayPlan, UnitDiskGraph};
 
@@ -63,6 +63,7 @@ pub struct FraBuilder {
     k: usize,
     comm_radius: f64,
     grid: Option<GridSpec>,
+    parallelism: Parallelism,
 }
 
 impl FraBuilder {
@@ -73,6 +74,7 @@ impl FraBuilder {
             k,
             comm_radius,
             grid: None,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -80,6 +82,14 @@ impl FraBuilder {
     /// defines the region of interest). Required.
     pub fn grid(mut self, grid: GridSpec) -> Self {
         self.grid = Some(grid);
+        self
+    }
+
+    /// Sets the thread policy for the local-error sweeps (defaults to
+    /// [`Parallelism::auto`]). The refinement result is bit-identical at
+    /// any thread count — this only changes wall-clock time.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
         self
     }
 
@@ -92,12 +102,12 @@ impl FraBuilder {
     /// * [`CoreError::BudgetTooSmall`] — `k == 0`.
     /// * Propagated geometry/network errors (not expected for valid
     ///   inputs).
-    pub fn run<F: Field>(&self, reference: &F) -> Result<FraResult, CoreError> {
+    pub fn run<F: Field + Sync>(&self, reference: &F) -> Result<FraResult, CoreError> {
         let grid = self.grid.ok_or(CoreError::InvalidParameter {
             name: "grid",
             requirement: "a candidate grid must be supplied via FraBuilder::grid",
         })?;
-        if !(self.comm_radius > 0.0) || !self.comm_radius.is_finite() {
+        if !self.comm_radius.is_finite() || self.comm_radius <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "comm_radius",
                 requirement: "must be positive and finite",
@@ -114,8 +124,9 @@ impl FraBuilder {
         let mut dt = Triangulation::new(rect);
         let mut zs: Vec<f64> = Vec::new();
 
-        // Lines 2–3: the full local-error array.
-        let mut errors = LocalErrorGrid::new(grid, reference, &dt, &zs);
+        // Lines 2–3: the full local-error array, swept on the parallel
+        // evaluation engine (bit-identical at any thread count).
+        let mut errors = LocalErrorGrid::new_with(grid, reference, &dt, &zs, self.parallelism);
 
         let mut chosen: Vec<Point2> = Vec::with_capacity(self.k);
         let mut refined = 0usize;
@@ -214,14 +225,22 @@ impl FraBuilder {
                     dt.insert(p)?;
                     zs.push(reference.value(p));
                     if hull_grows {
-                        errors.recompute_region(rect.min(), rect.max(), reference, &dt, &zs);
+                        errors.recompute_region_with(
+                            rect.min(),
+                            rect.max(),
+                            reference,
+                            &dt,
+                            &zs,
+                            self.parallelism,
+                        );
                     } else if let Some((lo, hi)) = dt.last_insert_bbox() {
-                        errors.recompute_region(
+                        errors.recompute_region_with(
                             Point2::new(lo.x - margin, lo.y - margin),
                             Point2::new(hi.x + margin, hi.y + margin),
                             reference,
                             &dt,
                             &zs,
+                            self.parallelism,
                         );
                     }
                 }
@@ -230,9 +249,7 @@ impl FraBuilder {
                     // now (need < remaining is guaranteed), then keep
                     // refining with the connected network.
                     for &r in plan.relays() {
-                        if chosen.len() < self.k
-                            && chosen.iter().all(|c| c.distance(r) > 1e-9)
-                        {
+                        if chosen.len() < self.k && chosen.iter().all(|c| c.distance(r) > 1e-9) {
                             chosen.push(r);
                             relays += 1;
                         }
@@ -310,8 +327,35 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_does_not_change_the_result() {
+        // The whole refinement sequence — argmax choices included — must
+        // be invariant under the thread policy.
+        let f = peaks();
+        let serial = FraBuilder::new(20, 10.0)
+            .grid(grid())
+            .parallelism(Parallelism::serial())
+            .run(&f)
+            .unwrap();
+        for par in [
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::auto(),
+        ] {
+            let other = FraBuilder::new(20, 10.0)
+                .grid(grid())
+                .parallelism(par)
+                .run(&f)
+                .unwrap();
+            assert_eq!(serial, other, "with {par:?}");
+        }
+    }
+
+    #[test]
     fn no_duplicate_positions() {
-        let r = FraBuilder::new(25, 10.0).grid(grid()).run(&peaks()).unwrap();
+        let r = FraBuilder::new(25, 10.0)
+            .grid(grid())
+            .run(&peaks())
+            .unwrap();
         for i in 0..r.positions.len() {
             for j in i + 1..r.positions.len() {
                 assert!(
@@ -347,7 +391,10 @@ mod tests {
 
     #[test]
     fn tight_radius_spends_more_on_relays() {
-        let loose = FraBuilder::new(30, 25.0).grid(grid()).run(&peaks()).unwrap();
+        let loose = FraBuilder::new(30, 25.0)
+            .grid(grid())
+            .run(&peaks())
+            .unwrap();
         let tight = FraBuilder::new(30, 8.0).grid(grid()).run(&peaks()).unwrap();
         assert!(
             tight.relays >= loose.relays,
@@ -389,8 +436,7 @@ mod tests {
         let g = grid();
         let fra = FraBuilder::new(40, 10.0).grid(g).run(&f).unwrap();
         let fra_eval = evaluate_deployment(&f, &fra.positions, 10.0, &g).unwrap();
-        let corners_eval =
-            evaluate_deployment(&f, &region().corners(), 1000.0, &g).unwrap();
+        let corners_eval = evaluate_deployment(&f, &region().corners(), 1000.0, &g).unwrap();
         assert!(fra_eval.connected);
         assert!(
             fra_eval.delta < corners_eval.delta,

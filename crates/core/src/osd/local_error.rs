@@ -5,9 +5,17 @@
 //! surface and the current triangulated approximation,
 //! `Err[i][j] = |f(xᵢ, yⱼ) − DT(xᵢ, yⱼ)|` (Table 1 lines 2–3), updated
 //! after every insertion only where new triangles appeared (line 11).
+//!
+//! Recomputation is a dense grid sweep — the FRA hot path — so it runs
+//! on the row-sharded evaluation engine of [`cps_field::par`]: one
+//! point-location cache per refresh, one locate cursor per row, rows
+//! written back in order. [`LocalErrorGrid::recompute_region`] and
+//! [`LocalErrorGrid::recompute_region_with`] produce bit-identical
+//! error arrays at any thread count.
 
+use cps_field::par::{map_rows, Parallelism};
 use cps_field::Field;
-use cps_geometry::{GridSpec, Point2, Triangulation};
+use cps_geometry::{GridSpec, LocateCache, LocateCursor, Point2, Triangulation};
 
 /// The error grid `Err[√A][√A]` of FRA, with used-position tracking.
 #[derive(Debug, Clone)]
@@ -23,19 +31,40 @@ impl LocalErrorGrid {
     ///
     /// `samples[i]` is the surface value at the triangulation's
     /// `VertexId(i)`.
-    pub fn new<F: Field>(
+    pub fn new<F: Field>(grid: GridSpec, field: &F, dt: &Triangulation, samples: &[f64]) -> Self {
+        let mut this = LocalErrorGrid::empty(grid);
+        this.recompute_region(grid.rect().min(), grid.rect().max(), field, dt, samples);
+        this
+    }
+
+    /// Like [`LocalErrorGrid::new`], but sweeps the grid on the parallel
+    /// evaluation engine. The resulting error array is bit-identical to
+    /// the serial constructor's at any thread count.
+    pub fn new_with<F: Field + Sync>(
         grid: GridSpec,
         field: &F,
         dt: &Triangulation,
         samples: &[f64],
+        par: Parallelism,
     ) -> Self {
-        let mut this = LocalErrorGrid {
+        let mut this = LocalErrorGrid::empty(grid);
+        this.recompute_region_with(
+            grid.rect().min(),
+            grid.rect().max(),
+            field,
+            dt,
+            samples,
+            par,
+        );
+        this
+    }
+
+    fn empty(grid: GridSpec) -> Self {
+        LocalErrorGrid {
             grid,
             errors: vec![0.0; grid.len()],
             used: vec![false; grid.len()],
-        };
-        this.recompute_region(grid.rect().min(), grid.rect().max(), field, dt, samples);
-        this
+        }
     }
 
     /// The underlying grid.
@@ -44,21 +73,66 @@ impl LocalErrorGrid {
     }
 
     /// Current error at grid point `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(i, j)` lies outside the grid; use
+    /// [`LocalErrorGrid::try_error_at`] for fallible probes.
     pub fn error_at(&self, i: usize, j: usize) -> f64 {
         self.errors[self.grid.flat_index(i, j)]
+    }
+
+    /// Current error at grid point `(i, j)`, or `None` when the indices
+    /// fall outside the grid.
+    pub fn try_error_at(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.grid.nx() && j < self.grid.ny() {
+            Some(self.errors[self.grid.flat_index(i, j)])
+        } else {
+            None
+        }
+    }
+
+    /// Flat index of the grid point nearest `p` — the one shared lookup
+    /// behind [`LocalErrorGrid::mark_used`], [`LocalErrorGrid::is_used`]
+    /// and [`LocalErrorGrid::flat_index_of`].
+    fn nearest_flat(&self, p: Point2) -> usize {
+        let (i, j) = self.grid.nearest_index(p);
+        self.grid.flat_index(i, j)
     }
 
     /// Marks the grid point nearest `p` as used (it can no longer be
     /// selected).
     pub fn mark_used(&mut self, p: Point2) {
-        let (i, j) = self.grid.nearest_index(p);
-        self.used[self.grid.flat_index(i, j)] = true;
+        let idx = self.nearest_flat(p);
+        self.used[idx] = true;
     }
 
     /// Whether the grid point nearest `p` is already used.
     pub fn is_used(&self, p: Point2) -> bool {
-        let (i, j) = self.grid.nearest_index(p);
-        self.used[self.grid.flat_index(i, j)]
+        self.used[self.nearest_flat(p)]
+    }
+
+    /// Clips the axis-aligned box `[lo, hi]` to inclusive grid index
+    /// ranges, expanding outward so every point inside (or on the edge
+    /// of) the box is covered; recomputing a ring of extra points is
+    /// harmless.
+    fn clip_box(&self, lo: Point2, hi: Point2) -> (usize, usize, usize, usize) {
+        let g = &self.grid;
+        let fi0 = ((lo.x - g.rect().min().x) / g.dx()).floor();
+        let fj0 = ((lo.y - g.rect().min().y) / g.dy()).floor();
+        let fi1 = ((hi.x - g.rect().min().x) / g.dx()).ceil();
+        let fj1 = ((hi.y - g.rect().min().y) / g.dy()).ceil();
+        let i0 = fi0.clamp(0.0, (g.nx() - 1) as f64) as usize;
+        let j0 = fj0.clamp(0.0, (g.ny() - 1) as f64) as usize;
+        let i1 = fi1.clamp(0.0, (g.nx() - 1) as f64) as usize;
+        let j1 = fj1.clamp(0.0, (g.ny() - 1) as f64) as usize;
+        (i0, i1, j0, j1)
+    }
+
+    /// Copies one recomputed row segment back into the flat error array.
+    fn write_row(&mut self, i0: usize, j: usize, row: &[f64]) {
+        let base = self.grid.flat_index(i0, j);
+        self.errors[base..base + row.len()].copy_from_slice(row);
     }
 
     /// Recomputes local errors for every grid point inside the
@@ -72,30 +146,38 @@ impl LocalErrorGrid {
         dt: &Triangulation,
         samples: &[f64],
     ) {
+        let (i0, i1, j0, j1) = self.clip_box(lo, hi);
         let g = self.grid;
-        // Clip to grid indices, expanding outward so every point inside
-        // (or on the edge of) the rect is covered; recomputing a ring of
-        // extra points is harmless.
-        let fi0 = ((lo.x - g.rect().min().x) / g.dx()).floor();
-        let fj0 = ((lo.y - g.rect().min().y) / g.dy()).floor();
-        let fi1 = ((hi.x - g.rect().min().x) / g.dx()).ceil();
-        let fj1 = ((hi.y - g.rect().min().y) / g.dy()).ceil();
-        let i0 = fi0.clamp(0.0, (g.nx() - 1) as f64) as usize;
-        let j0 = fj0.clamp(0.0, (g.ny() - 1) as f64) as usize;
-        let i1 = fi1.clamp(0.0, (g.nx() - 1) as f64) as usize;
-        let j1 = fj1.clamp(0.0, (g.ny() - 1) as f64) as usize;
+        let cache = dt.locate_cache();
         for j in j0..=j1 {
-            for i in i0..=i1 {
-                let p = g.point(i, j);
-                let approx = dt.interpolate(p, samples).unwrap_or_else(|| {
-                    // Outside the hull of inserted vertices (possible
-                    // before the scaffold corners exist): nearest value.
-                    dt.nearest_vertex(p)
-                        .map(|id| samples[id.0])
-                        .unwrap_or(0.0)
-                });
-                self.errors[g.flat_index(i, j)] = (field.value(p) - approx).abs();
-            }
+            let row = row_errors(&g, i0, i1, j, field, dt, &cache, samples);
+            self.write_row(i0, j, &row);
+        }
+    }
+
+    /// Row-parallel variant of [`LocalErrorGrid::recompute_region`]:
+    /// rows are sharded across `par.threads()` workers, each walking its
+    /// row left-to-right behind a private [`LocateCursor`], and written
+    /// back in row order — the refreshed errors are bit-identical to the
+    /// serial sweep at any thread count.
+    pub fn recompute_region_with<F: Field + Sync>(
+        &mut self,
+        lo: Point2,
+        hi: Point2,
+        field: &F,
+        dt: &Triangulation,
+        samples: &[f64],
+        par: Parallelism,
+    ) {
+        let (i0, i1, j0, j1) = self.clip_box(lo, hi);
+        let g = self.grid;
+        let cache = dt.locate_cache();
+        let cache = &cache;
+        let rows = map_rows(j1 - j0 + 1, par, |r| {
+            row_errors(&g, i0, i1, j0 + r, field, dt, cache, samples)
+        });
+        for (r, row) in rows.iter().enumerate() {
+            self.write_row(i0, j0 + r, row);
         }
     }
 
@@ -109,7 +191,7 @@ impl LocalErrorGrid {
                 continue;
             }
             let e = self.errors[idx];
-            if best.map_or(true, |(_, be)| e > be) {
+            if best.is_none_or(|(_, be)| e > be) {
                 best = Some((idx, e));
             }
         }
@@ -122,14 +204,45 @@ impl LocalErrorGrid {
 
     /// Flat index of the grid point nearest `p` (for rejection lists).
     pub fn flat_index_of(&self, p: Point2) -> usize {
-        let (i, j) = self.grid.nearest_index(p);
-        self.grid.flat_index(i, j)
+        self.nearest_flat(p)
     }
 
     /// Sum of all current local errors (a cheap convergence indicator).
     pub fn total_error(&self) -> f64 {
         self.errors.iter().sum()
     }
+}
+
+/// One row of `|f − DT|` values over `i0..=i1` at row `j`, walked
+/// left-to-right behind a fresh cursor. Both the serial and the parallel
+/// sweep delegate here, which is what makes them bit-identical.
+// The argument list is the full per-row closure environment; bundling
+// it into a struct would just move the same eight names one hop away.
+#[allow(clippy::too_many_arguments)]
+fn row_errors<F: Field>(
+    g: &GridSpec,
+    i0: usize,
+    i1: usize,
+    j: usize,
+    field: &F,
+    dt: &Triangulation,
+    cache: &LocateCache,
+    samples: &[f64],
+) -> Vec<f64> {
+    let mut cursor = LocateCursor::new();
+    (i0..=i1)
+        .map(|i| {
+            let p = g.point(i, j);
+            let approx = dt
+                .interpolate_with(cache, &mut cursor, p, samples)
+                .unwrap_or_else(|| {
+                    // Outside the hull of inserted vertices (possible
+                    // before the scaffold corners exist): nearest value.
+                    dt.nearest_vertex(p).map(|id| samples[id.0]).unwrap_or(0.0)
+                });
+            (field.value(p) - approx).abs()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -208,5 +321,41 @@ mod tests {
         let after = errs.error_at(5, 5);
         assert!(after < before);
         assert!(after < 1e-9);
+    }
+
+    #[test]
+    fn try_error_at_bounds_checks() {
+        let f = PlaneField::new(1.0, -2.0, 3.0);
+        let (grid, dt, zs) = setup(&f);
+        let errs = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        assert_eq!(errs.try_error_at(5, 5), Some(errs.error_at(5, 5)));
+        assert_eq!(errs.try_error_at(10, 10), Some(errs.error_at(10, 10)));
+        assert_eq!(errs.try_error_at(11, 5), None);
+        assert_eq!(errs.try_error_at(5, 11), None);
+        assert_eq!(errs.try_error_at(usize::MAX, 0), None);
+    }
+
+    #[test]
+    fn parallel_recompute_is_bit_identical_to_serial() {
+        let f = GaussianBlob::isotropic(Point2::new(5.0, 5.0), 10.0, 1.5);
+        let (grid, dt, zs) = setup(&f);
+        let serial = LocalErrorGrid::new(grid, &f, &dt, &zs);
+        for par in [
+            Parallelism::serial(),
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::auto(),
+        ] {
+            let parallel = LocalErrorGrid::new_with(grid, &f, &dt, &zs, par);
+            for j in 0..grid.ny() {
+                for i in 0..grid.nx() {
+                    assert_eq!(
+                        serial.error_at(i, j).to_bits(),
+                        parallel.error_at(i, j).to_bits(),
+                        "({i}, {j}) with {par:?}"
+                    );
+                }
+            }
+        }
     }
 }

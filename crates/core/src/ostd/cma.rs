@@ -386,10 +386,7 @@ mod tests {
             position: Point2::new(52.0, 50.0),
             curvature: 0.0,
         }];
-        let weak = CmaConfig {
-            beta: 0.5,
-            ..cfg()
-        };
+        let weak = CmaConfig { beta: 0.5, ..cfg() };
         let strong = CmaConfig { beta: 4.0, ..cfg() };
         let s = sense(&f, n, 5.0);
         let fw = cma_step(n, f.value(n), &s, &nbr, &weak).unwrap().force;

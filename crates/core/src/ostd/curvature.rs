@@ -209,9 +209,17 @@ mod tests {
         // only fit it with a ≈ b ≈ c ≈ 0 on symmetric discs... not
         // exactly (linear terms alias into the quadric); what must hold
         // is |G| far smaller than a genuinely curved surface's.
-        let fit = fit_quadric(Point2::new(1.0, 1.0), f.value(Point2::new(1.0, 1.0)), &samples)
-            .unwrap();
-        assert!(fit.curvature_weight() < 0.3, "weight {}", fit.curvature_weight());
+        let fit = fit_quadric(
+            Point2::new(1.0, 1.0),
+            f.value(Point2::new(1.0, 1.0)),
+            &samples,
+        )
+        .unwrap();
+        assert!(
+            fit.curvature_weight() < 0.3,
+            "weight {}",
+            fit.curvature_weight()
+        );
     }
 
     #[test]

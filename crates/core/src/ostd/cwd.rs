@@ -190,10 +190,7 @@ mod tests {
         // but the mean reflects the balanced middle.
         assert!(m.total_curvature == 3.0);
         assert!(m.max_balance_residual > 0.0);
-        let middle_nbrs = [
-            (positions[0], 1.0),
-            (positions[2], 1.0),
-        ];
+        let middle_nbrs = [(positions[0], 1.0), (positions[2], 1.0)];
         assert!(balance_residual(positions[1], &middle_nbrs) < 1e-12);
     }
 
@@ -240,10 +237,7 @@ mod tests {
         let mut initial = Vec::new();
         for j in 0..4 {
             for i in 0..4 {
-                initial.push(Point2::new(
-                    12.5 + 25.0 * i as f64,
-                    12.5 + 25.0 * j as f64,
-                ));
+                initial.push(Point2::new(12.5 + 25.0 * i as f64, 12.5 + 25.0 * j as f64));
             }
         }
         let probe = |ps: &[Point2]| -> f64 {

@@ -41,10 +41,7 @@ pub fn attraction_to_peak(node: Point2, peak: Point2, peak_curvature: f64) -> Ve
 /// Zero exactly when the node balances its neighbors' curvature weights
 /// (Eqn. 9).
 pub fn neighbor_attraction(node: Point2, neighbors: &[(Point2, f64)]) -> Vec2 {
-    neighbors
-        .iter()
-        .map(|&(p, g)| (p - node) * g.abs())
-        .sum()
+    neighbors.iter().map(|&(p, g)| (p - node) * g.abs()).sum()
 }
 
 /// Repulsion `Fr` from the single-hop neighbors (Eqn. 17): each
@@ -102,10 +99,7 @@ mod tests {
         // Two equal-curvature neighbors symmetric about the node: Eqn. 9
         // holds, so F2 = 0.
         let n = Point2::new(0.0, 0.0);
-        let nbrs = [
-            (Point2::new(5.0, 0.0), 2.0),
-            (Point2::new(-5.0, 0.0), 2.0),
-        ];
+        let nbrs = [(Point2::new(5.0, 0.0), 2.0), (Point2::new(-5.0, 0.0), 2.0)];
         assert!(neighbor_attraction(n, &nbrs).norm() < 1e-12);
     }
 

@@ -48,7 +48,7 @@ impl OsdProblem {
         if k == 0 {
             return Err(CoreError::BudgetTooSmall { k: 0, minimum: 1 });
         }
-        if !(comm_radius > 0.0) || !comm_radius.is_finite() {
+        if !comm_radius.is_finite() || comm_radius <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "comm_radius",
                 requirement: "must be positive and finite",
@@ -109,7 +109,7 @@ impl OsdProblem {
     /// # Errors
     ///
     /// Propagates solver errors.
-    pub fn solve<F: Field>(&self, reference: &F) -> Result<FraResult, CoreError> {
+    pub fn solve<F: Field + Sync>(&self, reference: &F) -> Result<FraResult, CoreError> {
         FraBuilder::new(self.k, self.comm_radius)
             .grid(self.candidate_grid()?)
             .run(reference)

@@ -8,11 +8,12 @@
 //! (diameter), and how evenly is the region split between nodes
 //! (Voronoi coverage areas)?
 
-use cps_field::Field;
+use cps_field::{Field, Parallelism};
 use cps_geometry::{coverage_areas, GridSpec, Point2, Rect, Triangulation};
 use cps_linalg::Summary;
 use cps_network::{articulation_points, criticality, network_diameter, UnitDiskGraph};
 
+use crate::evaluate::evaluate_deployment_with;
 use crate::{evaluate_deployment, CoreError, DeploymentEvaluation};
 
 /// The full analysis of a deployment.
@@ -77,6 +78,35 @@ pub fn analyze_deployment<F: Field>(
     grid: &GridSpec,
 ) -> Result<DeploymentReport, CoreError> {
     let evaluation = evaluate_deployment(reference, positions, comm_radius, grid)?;
+    finish_report(evaluation, positions, comm_radius, grid)
+}
+
+/// Like [`analyze_deployment`], but runs the δ/RMS quadratures on the
+/// parallel evaluation engine; the report is bit-identical to the
+/// serial one at any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`analyze_deployment`].
+pub fn analyze_deployment_with<F: Field + Sync>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> Result<DeploymentReport, CoreError> {
+    let evaluation = evaluate_deployment_with(reference, positions, comm_radius, grid, par)?;
+    finish_report(evaluation, positions, comm_radius, grid)
+}
+
+/// The network-health and coverage half of the report, shared by the
+/// serial and parallel entry points.
+fn finish_report(
+    evaluation: DeploymentEvaluation,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+) -> Result<DeploymentReport, CoreError> {
     let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
     let cuts = articulation_points(&graph);
     let crit = criticality(&graph);

@@ -13,10 +13,10 @@ const SIDE: f64 = 60.0;
 fn field_strategy() -> impl Strategy<Value = GaussianMixtureField> {
     prop::collection::vec(
         (
-            5.0f64..55.0, // cx
-            5.0f64..55.0, // cy
+            5.0f64..55.0,   // cx
+            5.0f64..55.0,   // cy
             -10.0f64..25.0, // amplitude (dips allowed)
-            2.0f64..10.0, // sigma
+            2.0f64..10.0,   // sigma
         ),
         1..5,
     )

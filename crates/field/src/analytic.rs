@@ -255,7 +255,9 @@ impl RidgeField {
 impl Field for RidgeField {
     fn value(&self, p: Point2) -> f64 {
         let tau = std::f64::consts::TAU;
-        self.amplitude * (tau * p.x / self.wavelength_x).sin() * (tau * p.y / self.wavelength_y).cos()
+        self.amplitude
+            * (tau * p.x / self.wavelength_x).sin()
+            * (tau * p.y / self.wavelength_y).cos()
     }
 }
 

@@ -13,30 +13,84 @@
 //! with trapezoidal weights (boundary points count half, corners a
 //! quarter), which converges at O(h²) for the piecewise-smooth surfaces
 //! used in the experiments.
+//!
+//! # Parallelism and determinism
+//!
+//! Every quadrature here is evaluated row by row: each grid row is
+//! summed left to right into a private partial, and the row partials
+//! are folded in row order. Because that operation order never depends
+//! on how rows are distributed, the `_with` variants taking a
+//! [`Parallelism`] return results **bit-identical** to the serial
+//! functions at any thread count (property-tested in
+//! `tests/parallel_delta.rs`).
 
 use cps_geometry::GridSpec;
 
+use crate::par::{map_rows, Parallelism};
 use crate::Field;
 
 /// Quadrature weight for grid point `(i, j)`: trapezoidal rule.
 #[inline]
 fn weight(grid: &GridSpec, i: usize, j: usize) -> f64 {
-    let wx = if i == 0 || i == grid.nx() - 1 { 0.5 } else { 1.0 };
-    let wy = if j == 0 || j == grid.ny() - 1 { 0.5 } else { 1.0 };
+    let wx = if i == 0 || i == grid.nx() - 1 {
+        0.5
+    } else {
+        1.0
+    };
+    let wy = if j == 0 || j == grid.ny() - 1 {
+        0.5
+    } else {
+        1.0
+    };
     wx * wy
 }
 
-/// Integrates an arbitrary pointwise combination of two fields over the
-/// grid.
-fn integrate2<F, G, C>(f: &F, g: &G, grid: &GridSpec, mut combine: C) -> f64
+/// Weighted sum of `combine(f, g)` over row `j`, left to right — the
+/// unit of work the parallel engine shards, and the canonical operand
+/// order both serial and parallel reductions share.
+#[inline]
+fn row_sum<F, G, C>(f: &F, g: &G, grid: &GridSpec, j: usize, combine: &C) -> f64
 where
     F: Field,
     G: Field,
-    C: FnMut(f64, f64) -> f64,
+    C: Fn(f64, f64) -> f64,
+{
+    let mut row = 0.0;
+    for i in 0..grid.nx() {
+        let p = grid.point(i, j);
+        row += weight(grid, i, j) * combine(f.value(p), g.value(p));
+    }
+    row
+}
+
+/// Integrates an arbitrary pointwise combination of two fields over the
+/// grid (row-by-row reduction; see the module docs).
+pub fn integrate2<F, G, C>(f: &F, g: &G, grid: &GridSpec, combine: C) -> f64
+where
+    F: Field,
+    G: Field,
+    C: Fn(f64, f64) -> f64,
 {
     let mut total = 0.0;
-    for (i, j, p) in grid.iter() {
-        total += weight(grid, i, j) * combine(f.value(p), g.value(p));
+    for j in 0..grid.ny() {
+        total += row_sum(f, g, grid, j, &combine);
+    }
+    total * grid.cell_area()
+}
+
+/// Parallel [`integrate2`]: rows are sharded across `par.threads()`
+/// scoped threads and reduced in row order, so the result is
+/// bit-identical to the serial function.
+pub fn integrate2_with<F, G, C>(f: &F, g: &G, grid: &GridSpec, par: Parallelism, combine: C) -> f64
+where
+    F: Field + Sync,
+    G: Field + Sync,
+    C: Fn(f64, f64) -> f64 + Sync,
+{
+    let rows = map_rows(grid.ny(), par, |j| row_sum(f, g, grid, j, &combine));
+    let mut total = 0.0;
+    for row in rows {
+        total += row;
     }
     total * grid.cell_area()
 }
@@ -59,12 +113,44 @@ pub fn volume_difference<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f
     integrate2(f, g, grid, |a, b| (a - b).abs())
 }
 
+/// Parallel [`volume_difference`]; bit-identical to the serial function
+/// at any thread count.
+pub fn volume_difference_with<F: Field + Sync, G: Field + Sync>(
+    f: &F,
+    g: &G,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> f64 {
+    integrate2_with(f, g, grid, par, |a, b| (a - b).abs())
+}
+
 /// Volume under a single surface, `∬ f dA` (Eqn. 4/5). For surfaces that
 /// dip below zero the integral is signed.
 pub fn volume<F: Field>(f: &F, grid: &GridSpec) -> f64 {
     let mut total = 0.0;
-    for (i, j, p) in grid.iter() {
-        total += weight(grid, i, j) * f.value(p);
+    for j in 0..grid.ny() {
+        let mut row = 0.0;
+        for i in 0..grid.nx() {
+            row += weight(grid, i, j) * f.value(grid.point(i, j));
+        }
+        total += row;
+    }
+    total * grid.cell_area()
+}
+
+/// Parallel [`volume`]; bit-identical to the serial function at any
+/// thread count.
+pub fn volume_with<F: Field + Sync>(f: &F, grid: &GridSpec, par: Parallelism) -> f64 {
+    let rows = map_rows(grid.ny(), par, |j| {
+        let mut row = 0.0;
+        for i in 0..grid.nx() {
+            row += weight(grid, i, j) * f.value(grid.point(i, j));
+        }
+        row
+    });
+    let mut total = 0.0;
+    for row in rows {
+        total += row;
     }
     total * grid.cell_area()
 }
@@ -74,18 +160,67 @@ pub fn union_volume<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
     integrate2(f, g, grid, f64::max)
 }
 
+/// Parallel [`union_volume`]; bit-identical to the serial function at
+/// any thread count.
+pub fn union_volume_with<F: Field + Sync, G: Field + Sync>(
+    f: &F,
+    g: &G,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> f64 {
+    integrate2_with(f, g, grid, par, f64::max)
+}
+
 /// `|V(f) ∩ V(g)| = ∬ min(f, g) dA` (Eqn. 7).
 pub fn intersection_volume<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
     integrate2(f, g, grid, f64::min)
+}
+
+/// Parallel [`intersection_volume`]; bit-identical to the serial
+/// function at any thread count.
+pub fn intersection_volume_with<F: Field + Sync, G: Field + Sync>(
+    f: &F,
+    g: &G,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> f64 {
+    integrate2_with(f, g, grid, par, f64::min)
+}
+
+/// Weighted-less sum of squared differences over row `j`.
+#[inline]
+fn row_sum_squares<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec, j: usize) -> f64 {
+    let mut row = 0.0;
+    for i in 0..grid.nx() {
+        let p = grid.point(i, j);
+        let d = f.value(p) - g.value(p);
+        row += d * d;
+    }
+    row
 }
 
 /// Root-mean-square pointwise difference over the grid — a secondary
 /// error metric reported alongside δ in the experiment harnesses.
 pub fn rms_difference<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
     let mut ss = 0.0;
-    for (_, _, p) in grid.iter() {
-        let d = f.value(p) - g.value(p);
-        ss += d * d;
+    for j in 0..grid.ny() {
+        ss += row_sum_squares(f, g, grid, j);
+    }
+    (ss / grid.len() as f64).sqrt()
+}
+
+/// Parallel [`rms_difference`]; bit-identical to the serial function at
+/// any thread count.
+pub fn rms_difference_with<F: Field + Sync, G: Field + Sync>(
+    f: &F,
+    g: &G,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> f64 {
+    let rows = map_rows(grid.ny(), par, |j| row_sum_squares(f, g, grid, j));
+    let mut ss = 0.0;
+    for row in rows {
+        ss += row;
     }
     (ss / grid.len() as f64).sqrt()
 }
@@ -156,6 +291,41 @@ mod tests {
         let f = PlaneField::new(0.0, 0.0, 1.0);
         let g = PlaneField::new(0.0, 0.0, 4.0);
         assert!((rms_difference(&f, &g, &grid()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_variants_are_bit_identical_to_serial() {
+        let f = PeaksField::new(Rect::square(10.0).unwrap(), 5.0);
+        let g = GaussianBlob::isotropic(Point2::new(3.0, 7.0), 4.0, 2.0);
+        let grid = grid();
+        for par in [
+            Parallelism::serial(),
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::auto(),
+        ] {
+            assert_eq!(
+                volume_difference_with(&f, &g, &grid, par).to_bits(),
+                volume_difference(&f, &g, &grid).to_bits(),
+                "volume_difference with {par:?}"
+            );
+            assert_eq!(
+                union_volume_with(&f, &g, &grid, par).to_bits(),
+                union_volume(&f, &g, &grid).to_bits()
+            );
+            assert_eq!(
+                intersection_volume_with(&f, &g, &grid, par).to_bits(),
+                intersection_volume(&f, &g, &grid).to_bits()
+            );
+            assert_eq!(
+                volume_with(&f, &grid, par).to_bits(),
+                volume(&f, &grid).to_bits()
+            );
+            assert_eq!(
+                rms_difference_with(&f, &g, &grid, par).to_bits(),
+                rms_difference(&f, &g, &grid).to_bits()
+            );
+        }
     }
 
     #[test]

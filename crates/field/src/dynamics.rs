@@ -44,8 +44,10 @@ impl<F: Field> DriftingField<F> {
 
 impl<F: Field> TimeVaryingField for DriftingField<F> {
     fn value_at(&self, p: Point2, t: f64) -> f64 {
-        self.inner
-            .value(Point2::new(p.x - self.velocity.x * t, p.y - self.velocity.y * t))
+        self.inner.value(Point2::new(
+            p.x - self.velocity.x * t,
+            p.y - self.velocity.y * t,
+        ))
     }
 }
 

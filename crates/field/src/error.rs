@@ -45,7 +45,10 @@ impl fmt::Display for FieldError {
             }
             FieldError::NonFiniteValue => write!(f, "value was NaN or infinite"),
             FieldError::InvalidKeyframes => {
-                write!(f, "keyframes must be non-empty and strictly increasing in time")
+                write!(
+                    f,
+                    "keyframes must be non-empty and strictly increasing in time"
+                )
             }
             FieldError::Geometry(e) => write!(f, "geometry error: {e}"),
         }

@@ -16,7 +16,10 @@
 //! * the reconstruction surface `z* = DT(x, y)` built from scattered
 //!   samples by Delaunay triangulation ([`ReconstructedSurface`]);
 //! * the paper's quality metric `δ` — the volume difference between two
-//!   surfaces (Eqn. 2) — in [`delta`].
+//!   surfaces (Eqn. 2) — in [`delta`];
+//! * the row-sharded parallel evaluation engine in [`par`]
+//!   ([`Parallelism`]), whose grid sweeps are bit-identical to serial
+//!   at any thread count.
 //!
 //! # Example
 //!
@@ -50,16 +53,18 @@ mod error;
 mod grid;
 mod noise;
 mod ops;
+pub mod par;
 mod reconstruct;
 mod traits;
 
 pub use analytic::{
-    GaussianBlob, GaussianMixtureField, PeaksField, PlaneField, ParaboloidField, RidgeField,
+    GaussianBlob, GaussianMixtureField, ParaboloidField, PeaksField, PlaneField, RidgeField,
 };
 pub use dynamics::{DiurnalField, DriftingField, KeyframeField};
 pub use error::FieldError;
 pub use grid::GridField;
 pub use noise::NoiseField;
 pub use ops::{ClampedField, ScaledField, SumField, TranslatedField};
+pub use par::Parallelism;
 pub use reconstruct::ReconstructedSurface;
 pub use traits::{Field, Frozen, Static, TimeVaryingField};

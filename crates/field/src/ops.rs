@@ -158,7 +158,10 @@ mod tests {
     fn combinators_compose() {
         let f = ClampedField::new(
             ScaledField::new(
-                SumField::new(PlaneField::new(1.0, 1.0, 0.0), PlaneField::new(0.0, 0.0, 1.0)),
+                SumField::new(
+                    PlaneField::new(1.0, 1.0, 0.0),
+                    PlaneField::new(0.0, 0.0, 1.0),
+                ),
                 2.0,
                 0.0,
             ),

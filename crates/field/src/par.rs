@@ -1,0 +1,183 @@
+//! Row-sharded parallel execution for grid sweeps.
+//!
+//! Every experiment in the paper reduces to dense-grid evaluation —
+//! quadrature for the δ metric, curvature sweeps, per-cell error
+//! refreshes — so this module provides the one primitive they all
+//! share: *split the rows of a grid across threads, compute each row
+//! independently, and reduce in row order*. Reducing in a fixed order
+//! keeps floating-point results **bit-identical regardless of thread
+//! count**, which the workspace's determinism tests rely on.
+//!
+//! Built on [`std::thread::scope`] only; no external dependencies and
+//! no `unsafe`.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Thread-count policy for the parallel evaluation engine.
+///
+/// The default asks the OS via [`std::thread::available_parallelism`];
+/// [`Parallelism::serial`] pins everything to the calling thread, and
+/// [`Parallelism::fixed`] requests an exact worker count. Results of
+/// the engine are bit-identical across all of these — the policy only
+/// changes wall-clock time.
+///
+/// # Example
+///
+/// ```
+/// use cps_field::Parallelism;
+///
+/// assert_eq!(Parallelism::serial().threads(), 1);
+/// assert_eq!(Parallelism::fixed(4).threads(), 4);
+/// assert!(Parallelism::auto().threads() >= 1);
+/// // `from_threads` maps a CLI-style `--threads 0` to auto.
+/// assert_eq!(Parallelism::from_threads(0), Parallelism::auto());
+/// assert_eq!(Parallelism::from_threads(2), Parallelism::fixed(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Requested worker count; `0` means "ask the OS".
+    requested: usize,
+}
+
+impl Parallelism {
+    /// Uses [`std::thread::available_parallelism`] at execution time.
+    pub fn auto() -> Self {
+        Parallelism { requested: 0 }
+    }
+
+    /// Runs everything on the calling thread.
+    pub fn serial() -> Self {
+        Parallelism { requested: 1 }
+    }
+
+    /// Requests exactly `n` workers (`n = 0` is treated as 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism {
+            requested: n.max(1),
+        }
+    }
+
+    /// CLI-flag convention: `0` selects [`Parallelism::auto`], anything
+    /// else [`Parallelism::fixed`].
+    pub fn from_threads(n: usize) -> Self {
+        if n == 0 {
+            Parallelism::auto()
+        } else {
+            Parallelism::fixed(n)
+        }
+    }
+
+    /// The effective worker count this policy resolves to right now.
+    pub fn threads(&self) -> usize {
+        if self.requested == 0 {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.requested
+        }
+    }
+
+    /// Whether execution would stay on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads() <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// Computes `f(0), f(1), …, f(n - 1)` with rows sharded across up to
+/// `par.threads()` scoped threads, returning results **in index
+/// order**.
+///
+/// The assignment of indices to workers is a static contiguous
+/// partition, and each worker evaluates its indices in ascending order,
+/// so any fold over the returned vector observes the same operand order
+/// at every thread count — the determinism guarantee the δ quadrature
+/// builds on. Falls back to a plain serial loop when one worker (or one
+/// item) remains.
+pub fn map_rows<T, F>(n: usize, par: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    thread::scope(|scope| {
+        for (w, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            scope.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("scoped worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_resolve_to_expected_counts() {
+        assert_eq!(Parallelism::serial().threads(), 1);
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::fixed(3).threads(), 3);
+        assert_eq!(Parallelism::fixed(0).threads(), 1);
+        assert!(Parallelism::auto().threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::auto());
+        assert_eq!(Parallelism::from_threads(0), Parallelism::auto());
+        assert_eq!(Parallelism::from_threads(5), Parallelism::fixed(5));
+    }
+
+    #[test]
+    fn map_rows_preserves_index_order() {
+        for par in [
+            Parallelism::serial(),
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::fixed(7),
+            Parallelism::auto(),
+        ] {
+            let got = map_rows(23, par, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "with {par:?}");
+        }
+    }
+
+    #[test]
+    fn map_rows_handles_edge_sizes() {
+        assert!(map_rows(0, Parallelism::fixed(4), |i| i).is_empty());
+        assert_eq!(map_rows(1, Parallelism::fixed(4), |i| i + 10), vec![10]);
+        // More workers than items.
+        assert_eq!(map_rows(3, Parallelism::fixed(16), |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_rows_folds_bit_identically_across_thread_counts() {
+        // A deliberately ill-conditioned per-row value: summing it in a
+        // different order would change the result's last bits.
+        let row = |j: usize| ((j as f64) * 0.1).sin() * 1e10 + 1.0 / (j as f64 + 1.0);
+        let fold = |par: Parallelism| -> f64 { map_rows(97, par, row).iter().sum() };
+        let reference = fold(Parallelism::serial());
+        for threads in [2, 3, 4, 8] {
+            let got = fold(Parallelism::fixed(threads));
+            assert_eq!(got.to_bits(), reference.to_bits(), "{threads} threads");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The reconstruction surface `z* = DT(x, y)`: scattered samples lifted
 //! to a piecewise-linear surface by Delaunay triangulation.
 
-use cps_geometry::{Point2, Rect, Triangulation};
+use cps_geometry::{LocateCache, LocateCursor, Point2, Rect, Triangulation};
 
 use crate::{Field, FieldError};
 
@@ -36,6 +36,11 @@ use crate::{Field, FieldError};
 pub struct ReconstructedSurface {
     triangulation: Triangulation,
     samples: Vec<f64>,
+    /// Point-location accelerator snapshotted at construction; the
+    /// triangulation is immutable from here on, so the cache never goes
+    /// stale and keeps `value` lookups O(1) amortized during grid
+    /// quadrature — including from many threads at once.
+    cache: LocateCache,
 }
 
 impl ReconstructedSurface {
@@ -90,9 +95,11 @@ impl ReconstructedSurface {
                 count: triangulation.vertex_count(),
             });
         }
+        let cache = triangulation.locate_cache();
         Ok(ReconstructedSurface {
             triangulation,
             samples: kept,
+            cache,
         })
     }
 
@@ -123,9 +130,11 @@ impl ReconstructedSurface {
         if samples.iter().any(|v| !v.is_finite()) {
             return Err(FieldError::NonFiniteValue);
         }
+        let cache = triangulation.locate_cache();
         Ok(ReconstructedSurface {
             triangulation,
             samples,
+            cache,
         })
     }
 
@@ -147,7 +156,14 @@ impl ReconstructedSurface {
 
 impl Field for ReconstructedSurface {
     fn value(&self, p: Point2) -> f64 {
-        match self.triangulation.interpolate(p, &self.samples) {
+        // A fresh cursor per query keeps the result independent of call
+        // history (and hence of thread count); the bucket cache alone
+        // already provides the O(1) warm start.
+        let mut cursor = LocateCursor::new();
+        match self
+            .triangulation
+            .interpolate_with(&self.cache, &mut cursor, p, &self.samples)
+        {
             Some(z) => z,
             None => {
                 // Outside the hull of the samples: nearest-sample value.

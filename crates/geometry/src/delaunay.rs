@@ -8,7 +8,6 @@
 //! cavity and retriangulates it, maintaining triangle adjacency so that
 //! point location is a short walk rather than a scan.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::predicates::{in_circumcircle, orient2d};
@@ -72,8 +71,11 @@ pub struct Triangulation {
     /// super-triangle and are never reported.
     vertices: Vec<Point2>,
     tris: Vec<Tri>,
-    /// Walk start hint (index of some recently touched alive triangle).
-    hint: Cell<usize>,
+    /// Walk start hint (index of the alive triangle most recently
+    /// created by [`Triangulation::insert`]). Updated only under
+    /// `&mut self`, which keeps the structure `Sync` for the parallel
+    /// evaluation engine; query-side warm starts use [`LocateCursor`].
+    hint: usize,
     /// Minimum distance between distinct vertices.
     dup_tolerance: f64,
     /// Bounding box of the triangles created by the most recent insert.
@@ -108,7 +110,7 @@ impl Triangulation {
             bounds,
             vertices: sv.to_vec(),
             tris,
-            hint: Cell::new(0),
+            hint: 0,
             dup_tolerance: 1e-9 * span,
             last_insert_bbox: None,
         }
@@ -371,7 +373,7 @@ impl Triangulation {
         }
         debug_assert!(spoke.is_empty(), "unmatched fan spokes after insertion");
 
-        self.hint.set(self.tris.len() - 1);
+        self.hint = self.tris.len() - 1;
         self.last_insert_bbox = Some((bbox_min, bbox_max));
         Ok(VertexId(new_vertex - SUPER_VERTS))
     }
@@ -431,11 +433,19 @@ impl Triangulation {
     }
 
     /// Walks to the alive triangle containing `p` (including triangles
-    /// incident to the super-triangle). Returns `None` only when `p`
-    /// escapes the super-triangle, which cannot happen for in-bounds
-    /// points.
+    /// incident to the super-triangle), starting from the insert-side
+    /// hint. Returns `None` only when `p` escapes the super-triangle,
+    /// which cannot happen for in-bounds points.
     fn locate_alive(&self, p: Point2) -> Option<usize> {
-        let mut t = self.hint.get();
+        self.locate_alive_from(self.hint, p)
+    }
+
+    /// Walk core shared by [`Triangulation::locate`] and the cached
+    /// [`Triangulation::locate_with`] path. `start` may be stale (dead
+    /// or out of range); the walk then restarts from the most recently
+    /// created alive triangle.
+    fn locate_alive_from(&self, start: usize, p: Point2) -> Option<usize> {
+        let mut t = start;
         if t >= self.tris.len() || !self.tris[t].alive {
             t = self.tris.iter().rposition(|t| t.alive)?;
         }
@@ -457,7 +467,6 @@ impl Triangulation {
                     }
                 }
             }
-            self.hint.set(t);
             return Some(t);
         }
         // Degenerate walk (should not happen): fall back to a scan.
@@ -470,6 +479,104 @@ impl Triangulation {
                 )
                 .contains(p)
         })
+    }
+
+    /// Builds a read-only point-location accelerator for the current
+    /// triangulation: a uniform bucket grid over the bounding region
+    /// whose cells hold a nearby alive triangle (seeded from triangle
+    /// circumcenters), so a cold lookup starts its walk O(1) triangles
+    /// away instead of walking across the whole structure.
+    ///
+    /// The cache is a snapshot: it stays *valid* after further
+    /// [`Triangulation::insert`] calls (stale seeds are detected and
+    /// recovered from), but lookups gradually lose their O(1) warm
+    /// start, so rebuild it after a batch of insertions.
+    pub fn locate_cache(&self) -> LocateCache {
+        let bounds = self.bounds;
+        let mut entries: Vec<(usize, Point2)> = Vec::new();
+        for (idx, tri) in self.tris.iter().enumerate() {
+            if !tri.alive || tri.v.iter().any(|&v| v < SUPER_VERTS) {
+                continue;
+            }
+            let geom = Triangle::new(
+                self.vertices[tri.v[0]],
+                self.vertices[tri.v[1]],
+                self.vertices[tri.v[2]],
+            );
+            // Circumcenters of sliver triangles can land far outside
+            // the region; clamp (or fall back to the centroid) so every
+            // seed maps to a bucket.
+            let seed = match geom.circumcircle() {
+                Some((center, _)) if bounds.contains(center) => center,
+                _ => geom.centroid(),
+            };
+            entries.push((idx, bounds.clamp(seed)));
+        }
+        let per_side = ((entries.len().max(1) as f64).sqrt().ceil() as usize).clamp(1, 128);
+        let mut cache = LocateCache {
+            bounds,
+            nx: per_side,
+            ny: per_side,
+            seeds: vec![usize::MAX; per_side * per_side],
+        };
+        // Keep, per bucket, the seed nearest the bucket center.
+        let mut best = vec![f64::INFINITY; cache.seeds.len()];
+        for &(idx, at) in &entries {
+            let b = cache.bucket_of(at);
+            let d = cache.bucket_center(b).distance_squared(at);
+            if d < best[b] {
+                best[b] = d;
+                cache.seeds[b] = idx;
+            }
+        }
+        cache.fill_empty_buckets();
+        cache
+    }
+
+    /// Point location through a [`LocateCache`] and per-caller
+    /// [`LocateCursor`]: behaves like [`Triangulation::locate`] but
+    /// starts the walk from the cursor's last triangle (or the cache
+    /// bucket seed on a cold cursor), making repeated nearby queries
+    /// O(1) amortized. Safe to use from many threads, each with its own
+    /// cursor.
+    pub fn locate_with(
+        &self,
+        cache: &LocateCache,
+        cursor: &mut LocateCursor,
+        p: Point2,
+    ) -> Option<[VertexId; 3]> {
+        let start = cursor
+            .last
+            .filter(|&t| t < self.tris.len() && self.tris[t].alive)
+            .unwrap_or_else(|| cache.seed(p));
+        let t = self.locate_alive_from(start, p)?;
+        cursor.last = Some(t);
+        let tri = &self.tris[t];
+        if tri.v.iter().any(|&v| v < SUPER_VERTS) {
+            return None;
+        }
+        Some([
+            VertexId(tri.v[0] - SUPER_VERTS),
+            VertexId(tri.v[1] - SUPER_VERTS),
+            VertexId(tri.v[2] - SUPER_VERTS),
+        ])
+    }
+
+    /// Cached-lookup variant of [`Triangulation::interpolate`]; see
+    /// [`Triangulation::locate_with`] for the cache/cursor contract.
+    pub fn interpolate_with(
+        &self,
+        cache: &LocateCache,
+        cursor: &mut LocateCursor,
+        p: Point2,
+        z: &[f64],
+    ) -> Option<f64> {
+        if z.len() < self.vertex_count() {
+            return None;
+        }
+        let tri = self.locate_with(cache, cursor, p)?;
+        let geom = self.triangle_geometry(tri);
+        geom.interpolate(p, [z[tri[0].0], z[tri[1].0], z[tri[2].0]])
     }
 
     /// Finds the real triangle containing `p`, or `None` when `p` falls
@@ -506,14 +613,12 @@ impl Triangulation {
     /// Nearest inserted vertex to `p`, by linear scan (used as a
     /// fallback for out-of-hull queries).
     pub fn nearest_vertex(&self, p: Point2) -> Option<VertexId> {
-        (0..self.vertex_count())
-            .map(VertexId)
-            .min_by(|&a, &b| {
-                self.vertex(a)
-                    .distance_squared(p)
-                    .partial_cmp(&self.vertex(b).distance_squared(p))
-                    .expect("finite distances compare")
-            })
+        (0..self.vertex_count()).map(VertexId).min_by(|&a, &b| {
+            self.vertex(a)
+                .distance_squared(p)
+                .partial_cmp(&self.vertex(b).distance_squared(p))
+                .expect("finite distances compare")
+        })
     }
 
     /// Verifies the Delaunay empty-circumcircle property over all real
@@ -539,6 +644,100 @@ impl Triangulation {
             }
         }
         true
+    }
+}
+
+/// Per-caller warm-start state for cached point location.
+///
+/// Consecutive queries from one cursor walk from the previously located
+/// triangle, which is O(1) when queries are spatially coherent (for
+/// example scanning a grid row). Each thread of a parallel sweep owns
+/// its own cursor; the [`Triangulation`] and [`LocateCache`] are shared
+/// immutably.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocateCursor {
+    last: Option<usize>,
+}
+
+impl LocateCursor {
+    /// A cold cursor; the first query seeds from the [`LocateCache`].
+    pub fn new() -> Self {
+        LocateCursor::default()
+    }
+}
+
+/// Read-only point-location accelerator built by
+/// [`Triangulation::locate_cache`].
+///
+/// A uniform bucket grid over the triangulation's bounding region; each
+/// bucket stores the index of an alive triangle whose circumcenter
+/// (centroid for degenerate triangles) falls nearest the bucket center.
+/// Cold lookups walk from the seed of the query's bucket instead of
+/// from a global hint, making point location O(1) amortized during
+/// quadrature sweeps.
+#[derive(Debug, Clone)]
+pub struct LocateCache {
+    bounds: Rect,
+    nx: usize,
+    ny: usize,
+    /// Seed triangle index per bucket; `usize::MAX` marks a bucket that
+    /// could not be filled (empty triangulation).
+    seeds: Vec<usize>,
+}
+
+impl LocateCache {
+    /// Bucket index containing `p` (clamped to the region).
+    fn bucket_of(&self, p: Point2) -> usize {
+        let fx = (p.x - self.bounds.min().x) / self.bounds.width().max(f64::MIN_POSITIVE);
+        let fy = (p.y - self.bounds.min().y) / self.bounds.height().max(f64::MIN_POSITIVE);
+        let cx = ((fx * self.nx as f64) as isize).clamp(0, self.nx as isize - 1) as usize;
+        let cy = ((fy * self.ny as f64) as isize).clamp(0, self.ny as isize - 1) as usize;
+        cy * self.nx + cx
+    }
+
+    /// Center point of bucket `b`.
+    fn bucket_center(&self, b: usize) -> Point2 {
+        let (cx, cy) = (b % self.nx, b / self.nx);
+        Point2::new(
+            self.bounds.min().x + (cx as f64 + 0.5) / self.nx as f64 * self.bounds.width(),
+            self.bounds.min().y + (cy as f64 + 0.5) / self.ny as f64 * self.bounds.height(),
+        )
+    }
+
+    /// Seed triangle for a query at `p`; `usize::MAX` when the cache is
+    /// empty (the walk then falls back to its own recovery path).
+    fn seed(&self, p: Point2) -> usize {
+        self.seeds[self.bucket_of(p)]
+    }
+
+    /// Propagates seeds into empty buckets from their filled neighbors
+    /// (multi-pass flood) so every bucket has a walk start.
+    fn fill_empty_buckets(&mut self) {
+        loop {
+            let mut changed = false;
+            for b in 0..self.seeds.len() {
+                if self.seeds[b] != usize::MAX {
+                    continue;
+                }
+                let (cx, cy) = (b % self.nx, b / self.nx);
+                let neighbors = [
+                    (cx > 0).then(|| b - 1),
+                    (cx + 1 < self.nx).then(|| b + 1),
+                    (cy > 0).then(|| b - self.nx),
+                    (cy + 1 < self.ny).then(|| b + self.nx),
+                ];
+                for n in neighbors.into_iter().flatten() {
+                    if self.seeds[n] != usize::MAX {
+                        self.seeds[b] = self.seeds[n];
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
     }
 }
 
@@ -704,7 +903,10 @@ mod tests {
         let center = dt.insert(Point2::new(5.0, 5.0)).unwrap();
         let edges = dt.edges();
         // The centre connects to all four corners.
-        let deg = edges.iter().filter(|&&(a, b)| a == center || b == center).count();
+        let deg = edges
+            .iter()
+            .filter(|&&(a, b)| a == center || b == center)
+            .count();
         assert_eq!(deg, 4);
         assert_eq!(dt.vertex_neighbors(center).len(), 4);
         // Neighbor lists agree with the edge set.
@@ -719,6 +921,74 @@ mod tests {
     }
 
     #[test]
+    fn cached_locate_matches_uncached() {
+        let mut dt = square_dt(10.0);
+        for (x, y) in [(3.0, 7.0), (6.0, 2.0), (8.0, 8.0), (2.0, 3.0), (5.0, 5.0)] {
+            dt.insert(Point2::new(x, y)).unwrap();
+        }
+        let cache = dt.locate_cache();
+        let mut cursor = LocateCursor::new();
+        for j in 0..20 {
+            for i in 0..20 {
+                let p = Point2::new(0.25 + 0.5 * i as f64, 0.25 + 0.5 * j as f64);
+                let plain = dt.locate(p);
+                let cached = dt.locate_with(&cache, &mut cursor, p);
+                match (plain, cached) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        // Both triangles must contain the query point;
+                        // on shared edges they may legitimately differ.
+                        assert!(dt.triangle_geometry(a).contains(p));
+                        assert!(dt.triangle_geometry(b).contains(p));
+                    }
+                    other => panic!("cache disagrees on hull membership at {p}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_cache_still_locates_after_inserts() {
+        let mut dt = square_dt(10.0);
+        dt.insert(Point2::new(5.0, 5.0)).unwrap();
+        let cache = dt.locate_cache();
+        // Mutate after the snapshot: old seeds die in the cavities.
+        for (x, y) in [(2.0, 2.0), (8.0, 3.0), (4.0, 8.0)] {
+            dt.insert(Point2::new(x, y)).unwrap();
+        }
+        let mut cursor = LocateCursor::new();
+        for (x, y) in [(1.0, 1.0), (9.0, 9.0), (5.0, 2.5), (3.0, 6.0)] {
+            let p = Point2::new(x, y);
+            let tri = dt.locate_with(&cache, &mut cursor, p).unwrap();
+            assert!(dt.triangle_geometry(tri).contains(p));
+        }
+    }
+
+    #[test]
+    fn interpolate_with_matches_plain_interpolate() {
+        let mut dt = square_dt(10.0);
+        for (x, y) in [(3.0, 7.0), (6.0, 2.0), (8.0, 8.0)] {
+            dt.insert(Point2::new(x, y)).unwrap();
+        }
+        let f = |p: Point2| 3.0 * p.x - 2.0 * p.y + 1.0;
+        let zs: Vec<f64> = dt.vertices().map(f).collect();
+        let cache = dt.locate_cache();
+        let mut cursor = LocateCursor::new();
+        for p in [
+            Point2::new(1.0, 1.0),
+            Point2::new(5.0, 5.0),
+            Point2::new(9.9, 0.1),
+        ] {
+            let z = dt.interpolate_with(&cache, &mut cursor, p, &zs).unwrap();
+            assert!((z - f(p)).abs() < 1e-9);
+        }
+        // Short value slices are rejected just like the plain path.
+        assert!(dt
+            .interpolate_with(&cache, &mut cursor, Point2::new(5.0, 5.0), &[1.0])
+            .is_none());
+    }
+
+    #[test]
     fn from_points_convenience() {
         let bounds = Rect::square(10.0).unwrap();
         let dt = Triangulation::from_points(
@@ -727,10 +997,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(dt.vertex_count(), 5);
-        assert!(Triangulation::from_points(
-            bounds,
-            [Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)]
-        )
-        .is_err());
+        assert!(
+            Triangulation::from_points(bounds, [Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)])
+                .is_err()
+        );
     }
 }

@@ -37,7 +37,10 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::InvalidRect { min, max } => {
-                write!(f, "invalid rectangle: min {min} not strictly below max {max}")
+                write!(
+                    f,
+                    "invalid rectangle: min {min} not strictly below max {max}"
+                )
             }
             GeometryError::OutOfBounds { point } => {
                 write!(f, "point {point} lies outside the triangulation region")

@@ -139,7 +139,7 @@ impl GridIndex {
             let mut best: Option<(usize, f64)> = None;
             self.for_each_within(q, radius, |i| {
                 let d = q.distance_squared(self.points[i]);
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
             });

@@ -45,7 +45,7 @@ mod region;
 mod triangle;
 mod voronoi;
 
-pub use delaunay::{Triangulation, VertexId};
+pub use delaunay::{LocateCache, LocateCursor, Triangulation, VertexId};
 pub use error::GeometryError;
 pub use hull::convex_hull;
 pub use index::GridIndex;

@@ -135,35 +135,23 @@ mod tests {
     #[test]
     fn clipping_halves_the_square() {
         // Keep x ≤ 0.5.
-        let clipped = clip_polygon_halfplane(
-            &unit_square(),
-            Point2::ORIGIN,
-            Vec2::new(1.0, 0.0),
-            0.5,
-        );
+        let clipped =
+            clip_polygon_halfplane(&unit_square(), Point2::ORIGIN, Vec2::new(1.0, 0.0), 0.5);
         assert!((polygon_area(&clipped) - 0.5).abs() < 1e-12);
         assert!(clipped.iter().all(|p| p.x <= 0.5 + 1e-9));
     }
 
     #[test]
     fn clipping_away_everything_yields_empty() {
-        let clipped = clip_polygon_halfplane(
-            &unit_square(),
-            Point2::ORIGIN,
-            Vec2::new(1.0, 0.0),
-            -1.0,
-        );
+        let clipped =
+            clip_polygon_halfplane(&unit_square(), Point2::ORIGIN, Vec2::new(1.0, 0.0), -1.0);
         assert!(clipped.is_empty());
     }
 
     #[test]
     fn clipping_with_no_effect_is_identity() {
-        let clipped = clip_polygon_halfplane(
-            &unit_square(),
-            Point2::ORIGIN,
-            Vec2::new(1.0, 0.0),
-            5.0,
-        );
+        let clipped =
+            clip_polygon_halfplane(&unit_square(), Point2::ORIGIN, Vec2::new(1.0, 0.0), 5.0);
         assert_eq!(clipped.len(), 4);
         assert!((polygon_area(&clipped) - 1.0).abs() < 1e-12);
     }

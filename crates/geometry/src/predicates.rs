@@ -46,15 +46,14 @@ pub fn is_collinear(a: Point2, b: Point2, c: Point2) -> bool {
 /// Tolerance for orientation tests, scaled to the operand magnitudes.
 #[inline]
 fn orientation_tolerance(a: Point2, b: Point2, c: Point2) -> f64 {
-    let m = a
-        .x
-        .abs()
-        .max(a.y.abs())
-        .max(b.x.abs())
-        .max(b.y.abs())
-        .max(c.x.abs())
-        .max(c.y.abs())
-        .max(1.0);
+    let m =
+        a.x.abs()
+            .max(a.y.abs())
+            .max(b.x.abs())
+            .max(b.y.abs())
+            .max(c.x.abs())
+            .max(c.y.abs())
+            .max(1.0);
     8.0 * f64::EPSILON * m * m
 }
 
@@ -93,8 +92,8 @@ pub fn in_circumcircle(a: Point2, b: Point2, c: Point2, p: Point2) -> bool {
     let bd = bdx * bdx + bdy * bdy;
     let cd = cdx * cdx + cdy * cdy;
 
-    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
-        + ad * (bdx * cdy - bdy * cdx);
+    let det =
+        adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx);
 
     // Scale-aware tolerance: the determinant has units of length⁴.
     let m = ad.max(bd).max(cd).max(1.0);

@@ -113,12 +113,12 @@ impl Triangle {
         let a2 = self.a.x * self.a.x + self.a.y * self.a.y;
         let b2 = self.b.x * self.b.x + self.b.y * self.b.y;
         let c2 = self.c.x * self.c.x + self.c.y * self.c.y;
-        let ux = (a2 * (self.b.y - self.c.y) + b2 * (self.c.y - self.a.y)
-            + c2 * (self.a.y - self.b.y))
-            / d;
-        let uy = (a2 * (self.c.x - self.b.x) + b2 * (self.a.x - self.c.x)
-            + c2 * (self.b.x - self.a.x))
-            / d;
+        let ux =
+            (a2 * (self.b.y - self.c.y) + b2 * (self.c.y - self.a.y) + c2 * (self.a.y - self.b.y))
+                / d;
+        let uy =
+            (a2 * (self.c.x - self.b.x) + b2 * (self.a.x - self.c.x) + c2 * (self.b.x - self.a.x))
+                / d;
         let center = Point2::new(ux, uy);
         Some((center, center.distance_squared(self.a)))
     }

@@ -109,11 +109,8 @@ mod tests {
     #[test]
     fn two_sites_split_along_the_bisector() {
         let bounds = Rect::square(10.0).unwrap();
-        let dt = Triangulation::from_points(
-            bounds,
-            [Point2::new(2.0, 5.0), Point2::new(8.0, 5.0)],
-        )
-        .unwrap();
+        let dt = Triangulation::from_points(bounds, [Point2::new(2.0, 5.0), Point2::new(8.0, 5.0)])
+            .unwrap();
         let areas = coverage_areas(&dt);
         assert!((areas[0] - 50.0).abs() < 1e-9);
         assert!((areas[1] - 50.0).abs() < 1e-9);

@@ -1,0 +1,123 @@
+//! Regression test for the point-location accelerator: `locate` through
+//! a [`LocateCache`] must agree with the uncached walk on a large batch
+//! of random queries — same hull membership everywhere, and a
+//! containing triangle wherever one is reported.
+
+use cps_geometry::{LocateCursor, Point2, Rect, Triangulation};
+
+/// Deterministic splitmix64 so the test needs no external crates.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn point_in(&mut self, r: Rect, margin: f64) -> Point2 {
+        Point2::new(
+            r.min().x + margin + self.unit() * (r.width() - 2.0 * margin),
+            r.min().y + margin + self.unit() * (r.height() - 2.0 * margin),
+        )
+    }
+}
+
+#[test]
+fn cached_locate_agrees_with_uncached_walk_on_1k_queries() {
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(100.0, 100.0)).unwrap();
+    let mut rng = Mix(0xC0FFEE);
+    let mut dt = Triangulation::new(region);
+    for corner in region.corners() {
+        dt.insert(corner).unwrap();
+    }
+    let mut inserted = 4;
+    while inserted < 150 {
+        if dt.insert(rng.point_in(region, 0.0)).is_ok() {
+            inserted += 1;
+        }
+    }
+
+    let cache = dt.locate_cache();
+    let mut cursor = LocateCursor::new();
+    let mut agreements = 0usize;
+    for _ in 0..1000 {
+        let p = rng.point_in(region, 0.0);
+        let plain = dt.locate(p);
+        let cached = dt.locate_with(&cache, &mut cursor, p);
+        match (plain, cached) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert!(
+                    dt.triangle_geometry(a).contains(p),
+                    "uncached walk returned a non-containing triangle at {p}"
+                );
+                assert!(
+                    dt.triangle_geometry(b).contains(p),
+                    "cached walk returned a non-containing triangle at {p}"
+                );
+                if a == b {
+                    agreements += 1;
+                }
+            }
+            other => panic!("hull membership disagrees at {p}: {other:?}"),
+        }
+    }
+    // Identical triangles except possibly for queries landing exactly on
+    // shared edges — with random queries that should be nearly all.
+    assert!(
+        agreements >= 990,
+        "only {agreements}/1000 queries matched triangles exactly"
+    );
+}
+
+#[test]
+fn interpolate_with_is_consistent_across_cursors() {
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(50.0, 50.0)).unwrap();
+    let mut rng = Mix(42);
+    let mut dt = Triangulation::new(region);
+    for corner in region.corners() {
+        dt.insert(corner).unwrap();
+    }
+    let mut inserted = 4;
+    while inserted < 60 {
+        if dt.insert(rng.point_in(region, 0.0)).is_ok() {
+            inserted += 1;
+        }
+    }
+    let zs: Vec<f64> = dt
+        .vertices()
+        .map(|p| (0.1 * p.x).sin() + 0.02 * p.y)
+        .collect();
+    let cache = dt.locate_cache();
+
+    // Two cursors with different histories must produce identical
+    // values: warm starts may change the walk, never the result's
+    // containing-triangle correctness, and grid sweeps rely on
+    // interpolation being cursor-independent away from edges.
+    let mut warm = LocateCursor::new();
+    for i in 0..100 {
+        let t = i as f64 / 99.0;
+        let _ = dt.interpolate_with(&cache, &mut warm, Point2::new(50.0 * t, 25.0), &zs);
+    }
+    for _ in 0..200 {
+        let p = rng.point_in(region, 1.0);
+        let mut cold = LocateCursor::new();
+        let a = dt.interpolate_with(&cache, &mut cold, p, &zs);
+        let b = dt.interpolate_with(&cache, &mut warm, p, &zs);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => assert!(
+                (x - y).abs() < 1e-9,
+                "cursor history changed interpolation at {p}: {x} vs {y}"
+            ),
+            other => panic!("hull membership differs by cursor at {p}: {other:?}"),
+        }
+    }
+}

@@ -54,7 +54,7 @@ impl Dataset {
     ) -> Result<Self, TraceError> {
         let max_id = nodes.iter().map(|n| n.id).max();
         for (i, r) in readings.iter().enumerate() {
-            if max_id.map_or(true, |m| r.node_id > m) {
+            if max_id.is_none_or(|m| r.node_id > m) {
                 return Err(TraceError::Parse {
                     line: i + 1,
                     message: format!("reading references unknown node {}", r.node_id),
@@ -133,7 +133,13 @@ impl Dataset {
         hour: u32,
         resolution: usize,
     ) -> Result<GridField, TraceError> {
-        self.region_field_with_bandwidth(region, channel, hour, resolution, DEFAULT_KERNEL_BANDWIDTH)
+        self.region_field_with_bandwidth(
+            region,
+            channel,
+            hour,
+            resolution,
+            DEFAULT_KERNEL_BANDWIDTH,
+        )
     }
 
     /// [`Dataset::region_field`] with an explicit kernel bandwidth.
@@ -155,7 +161,7 @@ impl Dataset {
         resolution: usize,
         bandwidth: f64,
     ) -> Result<GridField, TraceError> {
-        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
             return Err(TraceError::Field(cps_field::FieldError::NonFiniteValue));
         }
         let readings = self.readings_at(hour)?;
@@ -174,8 +180,8 @@ impl Dataset {
         if local.is_empty() {
             return Err(TraceError::EmptyRegion);
         }
-        let grid = GridSpec::new(region, resolution, resolution)
-            .map_err(cps_field::FieldError::from)?;
+        let grid =
+            GridSpec::new(region, resolution, resolution).map_err(cps_field::FieldError::from)?;
         let two_h2 = 2.0 * bandwidth * bandwidth;
         let field = GridField::from_fn(grid, |p| {
             let mut num = 0.0;

@@ -35,10 +35,15 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::HourOutOfRange { hour, available } => {
-                write!(f, "hour {hour} out of range (dataset has {available} hours)")
+                write!(
+                    f,
+                    "hour {hour} out of range (dataset has {available} hours)"
+                )
             }
             TraceError::EmptyRegion => write!(f, "requested region contains no sensor nodes"),
-            TraceError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
             TraceError::Json(e) => write!(f, "json error: {e}"),
             TraceError::Field(e) => write!(f, "field error: {e}"),

@@ -133,10 +133,7 @@ impl LatentModel {
             let cx = host.center.x + rng.gen_range(-1.0..1.0) * host.sigma_x;
             let cy = host.center.y + rng.gen_range(-1.0..1.0) * host.sigma_y;
             flecks.push(Feature {
-                center: Point2::new(
-                    cx.clamp(0.0, cfg.side),
-                    cy.clamp(0.0, cfg.side),
-                ),
+                center: Point2::new(cx.clamp(0.0, cfg.side), cy.clamp(0.0, cfg.side)),
                 amplitude: rng.gen_range(0.4..0.9),
                 sigma_x: rng.gen_range(4.5..7.0),
                 sigma_y: rng.gen_range(4.5..7.0),
@@ -268,9 +265,7 @@ impl TimeVaryingField for LatentLightField {
 }
 
 /// Generates node metadata, readings and the latent model.
-pub(crate) fn generate(
-    cfg: &ForestConfig,
-) -> (Vec<NodeMeta>, Vec<SensorReading>, LatentModel) {
+pub(crate) fn generate(cfg: &ForestConfig) -> (Vec<NodeMeta>, Vec<SensorReading>, LatentModel) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let model = LatentModel::new(cfg, &mut rng);
 
@@ -321,10 +316,7 @@ mod tests {
         let (n2, r2, _) = generate(&small());
         assert_eq!(n1, n2);
         assert_eq!(r1, r2);
-        let other = ForestConfig {
-            seed: 1,
-            ..small()
-        };
+        let other = ForestConfig { seed: 1, ..small() };
         let (n3, _, _) = generate(&other);
         assert_ne!(n1, n3);
     }
@@ -337,9 +329,7 @@ mod tests {
         assert_eq!(readings.len(), 50 * 24);
         assert!(nodes.iter().all(|n| (0.0..=cfg.side).contains(&n.x)));
         assert!(readings.iter().all(|r| r.light >= 0.0));
-        assert!(readings
-            .iter()
-            .all(|r| (0.0..=100.0).contains(&r.humidity)));
+        assert!(readings.iter().all(|r| (0.0..=100.0).contains(&r.humidity)));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod records;
 mod stats;
 
 pub use dataset::Dataset;
-pub use stats::DailyProfile;
 pub use error::TraceError;
 pub use generator::{ForestConfig, LatentLightField};
 pub use records::{Channel, NodeMeta, SensorReading};
+pub use stats::DailyProfile;

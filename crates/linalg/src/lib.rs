@@ -44,10 +44,10 @@ mod stats;
 mod vector;
 
 pub use error::LinalgError;
-pub use mat2::SymMat2;
 pub use lstsq::{lstsq, lstsq_normal, polyfit};
+pub use mat2::SymMat2;
 pub use matrix::DMatrix;
 pub use qr::QrDecomposition;
-pub use solve::{solve_dense, solve_2x2, solve_3x3, solve_cholesky};
+pub use solve::{solve_2x2, solve_3x3, solve_cholesky, solve_dense};
 pub use stats::{mean, rmse, Summary};
 pub use vector::{Vec2, Vec3};

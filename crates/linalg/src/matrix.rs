@@ -167,11 +167,9 @@ impl DMatrix {
                 actual: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        let out = (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
         Ok(out)
     }
 
@@ -227,7 +225,10 @@ impl Index<(usize, usize)> for DMatrix {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -235,7 +236,10 @@ impl Index<(usize, usize)> for DMatrix {
 impl IndexMut<(usize, usize)> for DMatrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -134,6 +134,9 @@ impl QrDecomposition {
     }
 
     /// Applies `Qᵀ` to `b` in place (length `m`).
+    // Index loops: the Householder vectors live in `packed` with row
+    // stride `n`, so `b[r]` and `packed[r * n + k]` must share `r`.
+    #[allow(clippy::needless_range_loop)]
     fn apply_q_transpose(&self, b: &mut [f64]) {
         let (m, n) = (self.m, self.n);
         for k in 0..n {
@@ -161,6 +164,8 @@ impl QrDecomposition {
     /// * [`LinalgError::ShapeMismatch`] — `b.len() != rows()`.
     /// * [`LinalgError::Singular`] — `A` was column-rank-deficient.
     /// * [`LinalgError::NonFiniteInput`] — non-finite right-hand side.
+    // Index loop: back-substitution reads `r(r, c)` and writes `x[r]`.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if b.len() != self.m {
             return Err(LinalgError::ShapeMismatch {
@@ -217,19 +222,16 @@ mod tests {
         let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let qr = QrDecomposition::new(&a).unwrap();
         assert!(qr.is_rank_deficient());
-        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
     fn qr_least_squares_residual_is_orthogonal() {
         // Overdetermined fit; residual must be orthogonal to column space.
-        let a = DMatrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = DMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = [0.1, 0.9, 2.1, 2.9];
         let qr = QrDecomposition::new(&a).unwrap();
         let x = qr.solve(&b).unwrap();

@@ -26,6 +26,9 @@ const SINGULAR_EPS: f64 = 1e-12;
 /// assert!((x[0] - 1.0).abs() < 1e-12);
 /// assert!((x[1] - 3.0).abs() < 1e-12);
 /// ```
+// Index loops: elimination updates row `r` from pivot row `col`, so
+// both rows of `m` are indexed by the same loop variable.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_dense(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
@@ -167,7 +170,14 @@ pub fn solve_cholesky(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 ///
 /// Returns [`LinalgError::Singular`] when the determinant is below the
 /// singularity threshold.
-pub fn solve_2x2(a: f64, b: f64, c: f64, d: f64, e: f64, f: f64) -> Result<(f64, f64), LinalgError> {
+pub fn solve_2x2(
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+    e: f64,
+    f: f64,
+) -> Result<(f64, f64), LinalgError> {
     let det = a * d - b * c;
     if det.abs() < SINGULAR_EPS {
         return Err(LinalgError::Singular);
@@ -220,12 +230,8 @@ mod tests {
 
     #[test]
     fn gaussian_solves_known_system() {
-        let a = DMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = DMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
         let b = [8.0, -11.0, -3.0];
         let x = solve_dense(&a, &b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-10);
@@ -244,7 +250,10 @@ mod tests {
     #[test]
     fn gaussian_rejects_singular() {
         let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert_eq!(solve_dense(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            solve_dense(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
@@ -284,12 +293,8 @@ mod tests {
 
     #[test]
     fn cholesky_agrees_with_gaussian() {
-        let a = DMatrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let b = [1.0, -2.0, 3.0];
         let x1 = solve_cholesky(&a, &b).unwrap();
         let x2 = solve_dense(&a, &b).unwrap();

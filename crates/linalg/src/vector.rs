@@ -382,9 +382,7 @@ mod tests {
 
     #[test]
     fn vec2_sum() {
-        let total: Vec2 = [Vec2::new(1.0, 0.0), Vec2::new(0.0, 2.0)]
-            .into_iter()
-            .sum();
+        let total: Vec2 = [Vec2::new(1.0, 0.0), Vec2::new(0.0, 2.0)].into_iter().sum();
         assert_eq!(total, Vec2::new(1.0, 2.0));
     }
 

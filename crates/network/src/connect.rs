@@ -182,7 +182,11 @@ mod tests {
         // Component A = {(0,0), (4,0)}, B = {(10,0)}: the gap must be
         // bridged from (4,0), not (0,0).
         let g = udg(
-            vec![Point2::new(0.0, 0.0), Point2::new(4.0, 0.0), Point2::new(10.0, 0.0)],
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(4.0, 0.0),
+                Point2::new(10.0, 0.0),
+            ],
             4.0,
         );
         let plan = RelayPlan::for_graph(&g);

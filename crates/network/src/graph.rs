@@ -39,7 +39,7 @@ impl UnitDiskGraph {
     ///   non-finite.
     /// * [`NetworkError::NonFinitePosition`] — a NaN/∞ coordinate.
     pub fn new(positions: Vec<Point2>, radius: f64) -> Result<Self, NetworkError> {
-        if !(radius > 0.0) || !radius.is_finite() {
+        if !radius.is_finite() || radius <= 0.0 {
             return Err(NetworkError::InvalidRadius);
         }
         if positions.iter().any(|p| !p.is_finite()) {
@@ -204,7 +204,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize, spacing: f64) -> Vec<Point2> {
-        (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -262,11 +264,7 @@ mod tests {
         let d = g.bfs_hops(0);
         assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
         // Disconnected case.
-        let g2 = UnitDiskGraph::new(
-            vec![Point2::ORIGIN, Point2::new(100.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let g2 = UnitDiskGraph::new(vec![Point2::ORIGIN, Point2::new(100.0, 0.0)], 1.0).unwrap();
         assert_eq!(g2.bfs_hops(0)[1], None);
     }
 

@@ -66,15 +66,18 @@ pub fn shortest_distances(graph: &UnitDiskGraph, start: usize) -> Vec<Option<f64
         node: start,
     });
     while let Some(Frontier { dist: d, node: u }) = heap.pop() {
-        if dist[u].map_or(true, |best| d > best + 1e-12) {
+        if dist[u].is_none_or(|best| d > best + 1e-12) {
             continue; // stale entry
         }
         for &v in graph.neighbors(u) {
             let w = graph.position(u).distance(graph.position(v));
             let cand = d + w;
-            if dist[v].map_or(true, |best| cand < best - 1e-12) {
+            if dist[v].is_none_or(|best| cand < best - 1e-12) {
                 dist[v] = Some(cand);
-                heap.push(Frontier { dist: cand, node: v });
+                heap.push(Frontier {
+                    dist: cand,
+                    node: v,
+                });
             }
         }
     }
@@ -142,11 +145,8 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_are_none() {
-        let g = UnitDiskGraph::new(
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let g =
+            UnitDiskGraph::new(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.0).unwrap();
         let d = shortest_distances(&g, 0);
         assert_eq!(d[1], None);
         assert_eq!(network_diameter(&g), None);

@@ -1,9 +1,10 @@
 //! The simulation world and stepping engine.
 
-use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
 use cps_core::ostd::lcm;
+use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
 use cps_core::{CoreError, CpsConfig};
-use cps_field::TimeVaryingField;
+use cps_field::par::map_rows;
+use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::{Point2, Rect};
 use cps_network::UnitDiskGraph;
 
@@ -17,6 +18,10 @@ pub struct SimConfig {
     /// Spacing of the sensing sample lattice within `Rs`; the paper's
     /// `m = ⌊πRs²⌋` corresponds to a 1 m lattice.
     pub sense_spacing: f64,
+    /// Thread policy for the per-node sense/curvature phase. Step
+    /// results are bit-identical at any thread count — this only
+    /// changes wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimConfig {
@@ -25,6 +30,7 @@ impl Default for SimConfig {
             cps: CpsConfig::default(),
             time_step: 1.0,
             sense_spacing: 1.0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -77,7 +83,7 @@ pub struct Simulation<F> {
     curvature_scale: f64,
 }
 
-impl<F: TimeVaryingField> Simulation<F> {
+impl<F: TimeVaryingField + Sync> Simulation<F> {
     /// Creates a simulation with nodes at `initial_positions`, starting
     /// the clock at `start_time` (minutes).
     ///
@@ -86,7 +92,25 @@ impl<F: TimeVaryingField> Simulation<F> {
     /// Returns [`CoreError::InvalidParameter`] when a position lies
     /// outside `region`, positions are empty, or the time step is not
     /// positive.
+    #[deprecated(
+        note = "use CmaBuilder::new(region, positions).config(config).start_time(t).run(field)"
+    )]
     pub fn new(
+        field: F,
+        region: Rect,
+        config: SimConfig,
+        initial_positions: Vec<Point2>,
+        start_time: f64,
+    ) -> Result<Self, CoreError> {
+        CmaBuilder::new(region, initial_positions)
+            .config(config)
+            .start_time(start_time)
+            .run(field)
+    }
+
+    /// The shared constructor behind [`CmaBuilder::run`] (and the
+    /// deprecated [`Simulation::new`]).
+    fn construct(
         field: F,
         region: Rect,
         config: SimConfig,
@@ -105,13 +129,16 @@ impl<F: TimeVaryingField> Simulation<F> {
                 requirement: "must lie inside the region",
             });
         }
-        if !(config.time_step > 0.0) || !config.time_step.is_finite() {
+        if !config.time_step.is_finite() || config.time_step <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "time_step",
                 requirement: "must be positive and finite",
             });
         }
-        if !(config.sense_spacing > 0.0) || config.sense_spacing > config.cps.sensing_radius() {
+        if !config.sense_spacing.is_finite()
+            || config.sense_spacing <= 0.0
+            || config.sense_spacing > config.cps.sensing_radius()
+        {
             return Err(CoreError::InvalidParameter {
                 name: "sense_spacing",
                 requirement: "must be positive and no larger than the sensing radius",
@@ -140,13 +167,22 @@ impl<F: TimeVaryingField> Simulation<F> {
         // Pre-movement sensing pass: every node estimates its initial
         // curvature so the first exchange (and the gossiped
         // normalization scale) start from real data instead of zeros.
-        for i in 0..sim.nodes.len() {
-            let p = sim.nodes[i].position;
-            debug_assert!(sim.nodes[i].alive);
-            let sensed = sim.sense(p);
-            let value = sim.field.value_at(p, sim.time);
-            let g = cps_core::ostd::fit_quadric(p, value, &sensed)?.gaussian_curvature();
-            sim.nodes[i].curvature = g;
+        // Per-node fits are independent, so the pass runs on the
+        // row-sharded engine; results are identical at any thread count.
+        let fits = {
+            let sim = &sim;
+            map_rows(sim.nodes.len(), sim.config.parallelism, |i| {
+                let p = sim.nodes[i].position;
+                debug_assert!(sim.nodes[i].alive);
+                let sensed = sim.sense(p);
+                let value = sim.field.value_at(p, sim.time);
+                Ok::<f64, CoreError>(
+                    cps_core::ostd::fit_quadric(p, value, &sensed)?.gaussian_curvature(),
+                )
+            })
+        };
+        for (i, g) in fits.into_iter().enumerate() {
+            sim.nodes[i].curvature = g?;
         }
         sim.curvature_scale = sim
             .nodes
@@ -155,7 +191,9 @@ impl<F: TimeVaryingField> Simulation<F> {
             .fold(0.0, f64::max);
         Ok(sim)
     }
+}
 
+impl<F: TimeVaryingField> Simulation<F> {
     /// Current simulation time, minutes.
     pub fn time(&self) -> f64 {
         self.time
@@ -276,7 +314,9 @@ impl<F: TimeVaryingField> Simulation<F> {
         }
         out
     }
+}
 
+impl<F: TimeVaryingField + Sync> Simulation<F> {
     /// Advances the simulation by one time slot.
     ///
     /// Phases (all decisions use only slot-start information, matching
@@ -308,29 +348,47 @@ impl<F: TimeVaryingField> Simulation<F> {
         let graph = UnitDiskGraph::new(positions.clone(), rc)?;
         let mut messages = 2 * graph.edge_count();
 
-        // Phase 1: sense + curvature + CMA decision per node.
+        // Phase 1: sense + curvature + CMA decision per node. Each
+        // node's decision depends only on slot-start state, so the
+        // phase fans out across the row-sharded engine; every per-node
+        // result is bit-identical at any thread count.
+        let mut cfg = self.cma;
+        cfg.curvature_scale = self.curvature_scale;
+        let decisions = {
+            let this = &*self;
+            let positions = &positions;
+            let alive_ids = &alive_ids;
+            let graph = &graph;
+            let cfg = &cfg;
+            map_rows(alive_ids.len(), self.config.parallelism, move |i| {
+                let p = positions[i];
+                let sensed = this.sense(p);
+                let neighbors: Vec<NeighborInfo> = graph
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| NeighborInfo {
+                        position: positions[j],
+                        curvature: this.nodes[alive_ids[j]].curvature,
+                    })
+                    .collect();
+                let value = this.field.value_at(p, this.time);
+                let out = cma_step(p, value, &sensed, &neighbors, cfg)?;
+                let dest = match out.action {
+                    CmaAction::MoveTo(dest) => Some(dest),
+                    _ => None,
+                };
+                Ok::<_, CoreError>((out.curvature, dest))
+            })
+        };
         let mut desired: Vec<Option<Point2>> = vec![None; alive_ids.len()];
         let mut new_curvature = vec![0.0; alive_ids.len()];
-        for i in 0..alive_ids.len() {
-            let p = positions[i];
-            let sensed = self.sense(p);
-            let neighbors: Vec<NeighborInfo> = graph
-                .neighbors(i)
-                .iter()
-                .map(|&j| NeighborInfo {
-                    position: positions[j],
-                    curvature: self.nodes[alive_ids[j]].curvature,
-                })
-                .collect();
-            let value = self.field.value_at(p, self.time);
-            let mut cfg = self.cma;
-            cfg.curvature_scale = self.curvature_scale;
-            let out = cma_step(p, value, &sensed, &neighbors, &cfg)?;
-            new_curvature[i] = out.curvature;
-            if let CmaAction::MoveTo(dest) = out.action {
-                desired[i] = Some(dest);
+        for (i, decision) in decisions.into_iter().enumerate() {
+            let (curvature, dest) = decision?;
+            new_curvature[i] = curvature;
+            if dest.is_some() {
                 messages += 1; // the mover's tell(nd, N) broadcast
             }
+            desired[i] = dest;
         }
 
         // Phase 2: speed clamp.
@@ -458,6 +516,86 @@ impl<F: TimeVaryingField> Simulation<F> {
     }
 }
 
+/// Builder for an OSTD simulation running the coordinated movement
+/// algorithm — the counterpart of `FraBuilder` on the OSD side.
+///
+/// # Example
+///
+/// ```
+/// use cps_field::{PeaksField, Static};
+/// use cps_geometry::Rect;
+/// use cps_sim::{scenario, CmaBuilder, SimConfig};
+///
+/// let region = Rect::square(100.0).unwrap();
+/// let field = Static::new(PeaksField::new(region, 8.0));
+/// let start = scenario::grid_start(region, 16);
+/// let mut sim = CmaBuilder::new(region, start)
+///     .config(SimConfig::default())
+///     .run(field)
+///     .unwrap();
+/// sim.step().unwrap();
+/// assert_eq!(sim.positions().len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmaBuilder {
+    region: Rect,
+    initial_positions: Vec<Point2>,
+    config: SimConfig,
+    start_time: f64,
+}
+
+impl CmaBuilder {
+    /// Creates a builder for nodes starting at `initial_positions`
+    /// inside `region`, with default [`SimConfig`] and the clock at 0.
+    pub fn new(region: Rect, initial_positions: Vec<Point2>) -> Self {
+        CmaBuilder {
+            region,
+            initial_positions,
+            config: SimConfig::default(),
+            start_time: 0.0,
+        }
+    }
+
+    /// Sets the simulation parameters (node capabilities, time step,
+    /// sensing lattice, thread policy).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Starts the clock at `t` minutes (e.g. 600 for the paper's 10:00
+    /// diurnal experiments).
+    pub fn start_time(mut self, t: f64) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Sets the thread policy without replacing the rest of the config.
+    /// Step results are bit-identical at any thread count.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.config.parallelism = par;
+        self
+    }
+
+    /// Builds the simulation over `field`, running the initial sensing
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when a position lies
+    /// outside the region, positions are empty, the time step is not
+    /// positive, or the sensing lattice is invalid.
+    pub fn run<F: TimeVaryingField + Sync>(self, field: F) -> Result<Simulation<F>, CoreError> {
+        Simulation::construct(
+            field,
+            self.region,
+            self.config,
+            self.initial_positions,
+            self.start_time,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,29 +612,77 @@ mod tests {
     #[test]
     fn construction_validates() {
         let f = Static::new(PlaneField::default());
-        assert!(Simulation::new(f, region(), SimConfig::default(), vec![], 0.0).is_err());
+        assert!(CmaBuilder::new(region(), vec![]).run(f).is_err());
         let f = Static::new(PlaneField::default());
         let outside = vec![Point2::new(200.0, 0.0)];
-        assert!(Simulation::new(f, region(), SimConfig::default(), outside, 0.0).is_err());
+        assert!(CmaBuilder::new(region(), outside).run(f).is_err());
         let f = Static::new(PlaneField::default());
         let bad_dt = SimConfig {
             time_step: 0.0,
             ..SimConfig::default()
         };
-        assert!(Simulation::new(f, region(), bad_dt, grid16(), 0.0).is_err());
+        assert!(CmaBuilder::new(region(), grid16())
+            .config(bad_dt)
+            .run(f)
+            .is_err());
         let f = Static::new(PlaneField::default());
         let bad_spacing = SimConfig {
             sense_spacing: 100.0,
             ..SimConfig::default()
         };
-        assert!(Simulation::new(f, region(), bad_spacing, grid16(), 0.0).is_err());
+        assert!(CmaBuilder::new(region(), grid16())
+            .config(bad_spacing)
+            .run(f)
+            .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder() {
+        let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
+        let start = vec![Point2::new(40.0, 50.0), Point2::new(60.0, 50.0)];
+        let old = Simulation::new(f, region(), SimConfig::default(), start.clone(), 0.0).unwrap();
+        let new = CmaBuilder::new(region(), start).run(f).unwrap();
+        assert_eq!(old.nodes(), new.nodes());
+        assert_eq!(old.time(), new.time());
+    }
+
+    #[test]
+    fn step_is_bit_identical_across_thread_counts() {
+        let f = Static::new(PeaksField::new(region(), 8.0));
+        let start = crate::scenario::grid_start(region(), 36);
+        let run = |par: Parallelism| {
+            let mut sim = CmaBuilder::new(region(), start.clone())
+                .parallelism(par)
+                .run(f)
+                .unwrap();
+            for _ in 0..5 {
+                sim.step().unwrap();
+            }
+            sim.nodes().to_vec()
+        };
+        let serial = run(Parallelism::serial());
+        for par in [
+            Parallelism::fixed(2),
+            Parallelism::fixed(5),
+            Parallelism::auto(),
+        ] {
+            let nodes = run(par);
+            assert_eq!(serial.len(), nodes.len());
+            for (a, b) in serial.iter().zip(&nodes) {
+                assert_eq!(a.position.x.to_bits(), b.position.x.to_bits(), "{par:?}");
+                assert_eq!(a.position.y.to_bits(), b.position.y.to_bits(), "{par:?}");
+                assert_eq!(a.curvature.to_bits(), b.curvature.to_bits(), "{par:?}");
+                assert_eq!(a.traveled.to_bits(), b.traveled.to_bits(), "{par:?}");
+            }
+        }
     }
 
     #[test]
     fn flat_world_stays_put() {
         let f = Static::new(PlaneField::new(0.0, 0.0, 3.0));
         // Spacing 25 > Rc 10: no neighbors, no repulsion, no curvature.
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), grid16(), 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), grid16()).run(f).unwrap();
         let before = sim.positions();
         let report = sim.step().unwrap();
         assert_eq!(report.moved, 0);
@@ -511,7 +697,7 @@ mod tests {
         // cover at most v·Δt = 1 m per slot.
         let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
         let start = vec![Point2::new(40.0, 50.0), Point2::new(60.0, 50.0)];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), start).run(f).unwrap();
         let report = sim.step().unwrap();
         assert!(report.max_displacement <= 1.0 + 1e-9);
         assert!(report.moved >= 1);
@@ -521,7 +707,10 @@ mod tests {
     fn travel_accumulates_and_time_advances() {
         let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
         let start = vec![Point2::new(42.0, 50.0), Point2::new(58.0, 50.0)];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 600.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), start)
+            .start_time(600.0)
+            .run(f)
+            .unwrap();
         sim.run_until(605.0).unwrap();
         assert_eq!(sim.time(), 605.0);
         assert!(sim.nodes().iter().any(|n| n.traveled > 0.0));
@@ -537,14 +726,14 @@ mod tests {
             Point2::new(50.0, 50.0),
             Point2::new(90.0, 90.0),
         ];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), iso, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), iso).run(f).unwrap();
         let report = sim.step().unwrap();
         assert_eq!(report.messages, 0, "flat + isolated = silent network");
 
         // A connected pair on a flat field: one edge, both directions.
         let f = Static::new(PlaneField::new(0.0, 0.0, 1.0));
         let pair = vec![Point2::new(50.0, 50.0), Point2::new(58.0, 50.0)];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), pair, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), pair).run(f).unwrap();
         let report = sim.step().unwrap();
         // The pair exchanges reports; repulsion (spacing 8 < 9.5) makes
         // both move, adding two tell() broadcasts.
@@ -559,7 +748,7 @@ mod tests {
             Point2::new(52.0, 50.0),
             Point2::new(59.0, 50.0),
         ];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), start).run(f).unwrap();
         let busy = sim.step().unwrap();
         sim.fail_node(1).unwrap();
         let after = sim.step().unwrap();
@@ -574,7 +763,7 @@ mod tests {
         // Blob just outside pulls nodes toward the border.
         let f = Static::new(GaussianBlob::isotropic(Point2::new(99.0, 99.0), 50.0, 5.0));
         let start = vec![Point2::new(97.0, 97.0), Point2::new(94.0, 97.0)];
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), start).run(f).unwrap();
         for _ in 0..20 {
             sim.step().unwrap();
         }
@@ -590,7 +779,7 @@ mod tests {
         let start = crate::scenario::grid_start(region(), 100);
         let g0 = UnitDiskGraph::new(start.clone(), 10.0).unwrap();
         assert!(g0.is_connected());
-        let mut sim = Simulation::new(f, region(), SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region(), start).run(f).unwrap();
         for _ in 0..30 {
             sim.step().unwrap();
         }

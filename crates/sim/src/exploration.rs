@@ -89,7 +89,7 @@ impl ExplorationTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{scenario, SimConfig};
+    use crate::{scenario, CmaBuilder};
     use cps_field::{GaussianBlob, Static};
     use cps_geometry::{Point2, Rect};
 
@@ -98,8 +98,7 @@ mod tests {
         let region = Rect::square(60.0).unwrap();
         let field = Static::new(GaussianBlob::isotropic(Point2::new(30.0, 30.0), 40.0, 8.0));
         let start = scenario::grid_start_spaced(region, 9, 9.3);
-        let mut sim =
-            Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let grid = GridSpec::new(region, 31, 31).unwrap();
         let mut tracker = ExplorationTracker::new(grid);
         tracker.record(&sim);
@@ -127,7 +126,7 @@ mod tests {
         let region = Rect::square(20.0).unwrap();
         let field = Static::new(cps_field::PlaneField::new(0.0, 0.0, 1.0));
         let start = vec![Point2::new(10.0, 10.0)];
-        let sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let sim = CmaBuilder::new(region, start).run(field).unwrap();
         let grid = GridSpec::new(region, 21, 21).unwrap();
         let mut tracker = ExplorationTracker::new(grid);
         tracker.record(&sim);

@@ -19,12 +19,12 @@
 //! ```
 //! use cps_field::{PeaksField, Static};
 //! use cps_geometry::Rect;
-//! use cps_sim::{scenario, SimConfig, Simulation};
+//! use cps_sim::{scenario, CmaBuilder};
 //!
 //! let region = Rect::square(100.0).unwrap();
 //! let field = Static::new(PeaksField::new(region, 8.0));
 //! let start = scenario::grid_start(region, 16);
-//! let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+//! let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
 //! sim.step().unwrap();
 //! assert_eq!(sim.positions().len(), 16);
 //! ```
@@ -39,10 +39,8 @@ mod sampling;
 pub mod scenario;
 mod trajectory;
 
-pub use engine::{MobileNode, SimConfig, Simulation, StepReport};
+pub use engine::{CmaBuilder, MobileNode, SimConfig, Simulation, StepReport};
 pub use exploration::ExplorationTracker;
 pub use metrics::{ConvergenceDetector, DeltaTimeline};
-pub use sampling::{
-    path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank,
-};
+pub use sampling::{path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank};
 pub use trajectory::TrajectoryRecorder;

@@ -1,16 +1,22 @@
 //! Simulation metrics: the δ(t) timeline of Fig. 10 and convergence
 //! detection.
 
-use cps_core::{evaluate_deployment, CoreError, DeploymentEvaluation};
-use cps_field::TimeVaryingField;
+use cps_core::{evaluate_deployment_with, CoreError, DeploymentEvaluation};
+use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::GridSpec;
 
 use crate::Simulation;
 
 /// A recorded series of `(time, δ)` samples — the paper's Fig. 10.
+///
+/// The per-sample δ quadrature runs on the parallel evaluation engine
+/// ([`Parallelism::auto`] by default, see
+/// [`DeltaTimeline::with_parallelism`]); recorded values are
+/// bit-identical at any thread count.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeltaTimeline {
     samples: Vec<(f64, DeploymentEvaluation)>,
+    par: Parallelism,
 }
 
 impl DeltaTimeline {
@@ -19,25 +25,34 @@ impl DeltaTimeline {
         DeltaTimeline::default()
     }
 
+    /// An empty timeline whose recordings use the given thread policy.
+    pub fn with_parallelism(par: Parallelism) -> Self {
+        DeltaTimeline {
+            samples: Vec::new(),
+            par,
+        }
+    }
+
     /// Evaluates the simulation *now* — reconstructing the surface from
     /// the current node positions against the field frozen at the
     /// current time — and appends the sample.
     ///
     /// # Errors
     ///
-    /// Propagates [`evaluate_deployment`] errors (fewer than 3 distinct
-    /// node positions).
-    pub fn record<F: TimeVaryingField>(
+    /// Propagates [`cps_core::evaluate_deployment`] errors (fewer than
+    /// 3 distinct node positions).
+    pub fn record<F: TimeVaryingField + Sync>(
         &mut self,
         sim: &Simulation<F>,
         grid: &GridSpec,
     ) -> Result<DeploymentEvaluation, CoreError> {
         let frozen = sim.field().at_time(sim.time());
-        let eval = evaluate_deployment(
+        let eval = evaluate_deployment_with(
             &frozen,
             &sim.positions(),
             sim.config().cps.comm_radius(),
             grid,
+            self.par,
         )?;
         self.samples.push((sim.time(), eval));
         Ok(eval)
@@ -127,7 +142,7 @@ impl ConvergenceDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{scenario, SimConfig};
+    use crate::{scenario, CmaBuilder};
     use cps_field::{PeaksField, Static};
     use cps_geometry::Rect;
 
@@ -136,8 +151,7 @@ mod tests {
         let region = Rect::square(100.0).unwrap();
         let field = Static::new(PeaksField::new(region, 8.0));
         let start = scenario::grid_start(region, 100);
-        let mut sim =
-            Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let grid = GridSpec::new(region, 41, 41).unwrap();
         let mut timeline = DeltaTimeline::new();
         timeline.record(&sim, &grid).unwrap();
@@ -151,6 +165,23 @@ mod tests {
         assert_eq!(series[0].0, 0.0);
         assert_eq!(series[1].0, 10.0);
         assert_eq!(timeline.best_delta().unwrap(), series[0].1.min(series[1].1));
+    }
+
+    #[test]
+    fn timeline_is_bit_identical_across_thread_counts() {
+        let region = Rect::square(100.0).unwrap();
+        let field = Static::new(PeaksField::new(region, 8.0));
+        let start = scenario::grid_start(region, 36);
+        let sim = CmaBuilder::new(region, start).run(field).unwrap();
+        let grid = GridSpec::new(region, 41, 41).unwrap();
+        let mut serial = DeltaTimeline::with_parallelism(Parallelism::serial());
+        let s = serial.record(&sim, &grid).unwrap();
+        for par in [Parallelism::fixed(3), Parallelism::auto()] {
+            let mut timeline = DeltaTimeline::with_parallelism(par);
+            let e = timeline.record(&sim, &grid).unwrap();
+            assert_eq!(s.delta.to_bits(), e.delta.to_bits(), "{par:?}");
+            assert_eq!(s.rms.to_bits(), e.rms.to_bits(), "{par:?}");
+        }
     }
 
     #[test]

@@ -161,7 +161,7 @@ pub fn path_sampling_gain<F: TimeVaryingField>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{scenario, SimConfig};
+    use crate::{scenario, CmaBuilder};
     use cps_field::{GaussianBlob, GaussianMixtureField, Static};
     use cps_geometry::GridSpec;
 
@@ -205,7 +205,7 @@ mod tests {
             ],
         ));
         let start = scenario::grid_start_spaced(region, 16, 9.3);
-        let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let mut bank = PathSampleBank::new(10_000);
         bank.record(&sim);
         for _ in 0..20 {
@@ -226,7 +226,7 @@ mod tests {
         let region = Rect::square(60.0).unwrap();
         let field = Static::new(GaussianMixtureField::new(1.0, vec![]));
         let start = scenario::grid_start_spaced(region, 9, 9.3);
-        let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         sim.fail_node(0).unwrap();
         let mut bank = PathSampleBank::new(100);
         bank.record(&sim);

@@ -76,7 +76,7 @@ impl TrajectoryRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{scenario, SimConfig, Simulation};
+    use crate::{scenario, CmaBuilder};
     use cps_field::{GaussianBlob, Static};
     use cps_geometry::Rect;
 
@@ -88,7 +88,7 @@ mod tests {
             6.0,
         ));
         let start = scenario::grid_start_spaced(region, 9, 9.3);
-        let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let mut rec = TrajectoryRecorder::new();
         rec.record(&sim);
         for _ in 0..10 {

@@ -6,8 +6,8 @@ use cps_geometry::{GridSpec, Point2, Rect};
 use cps_linalg::Vec2;
 use cps_network::UnitDiskGraph;
 use cps_sim::{
-    scenario, ConvergenceDetector, DeltaTimeline, ExplorationTracker, PathSampleBank, SimConfig,
-    Simulation, TrajectoryRecorder,
+    scenario, CmaBuilder, ConvergenceDetector, DeltaTimeline, ExplorationTracker, PathSampleBank,
+    SimConfig, TrajectoryRecorder,
 };
 
 fn hotspot_world() -> (Rect, Static<GaussianMixtureField>) {
@@ -26,7 +26,7 @@ fn hotspot_world() -> (Rect, Static<GaussianMixtureField>) {
 fn swarm_densifies_near_hotspots() {
     let (region, field) = hotspot_world();
     let start = scenario::grid_start_spaced(region, 64, 9.3);
-    let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
     let near_hotspots = |positions: &[Point2]| -> usize {
         positions
             .iter()
@@ -61,7 +61,7 @@ fn all_instrumentation_composes_in_one_run() {
     );
     let field = DriftingField::new(base, Vec2::new(0.05, 0.0));
     let start = scenario::grid_start_spaced(region, 36, 9.3);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(&field).unwrap();
 
     let grid = GridSpec::new(region, 33, 33).unwrap();
     let mut timeline = DeltaTimeline::new();
@@ -118,7 +118,10 @@ fn larger_speed_budget_converges_no_slower() {
             ..SimConfig::default()
         };
         let start = scenario::grid_start_spaced(region, 36, 9.3);
-        let mut sim = Simulation::new(field.clone(), region, config, start, 0.0).unwrap();
+        let mut sim = CmaBuilder::new(region, start)
+            .config(config)
+            .run(field.clone())
+            .unwrap();
         for _ in 0..20 {
             sim.step().unwrap();
         }

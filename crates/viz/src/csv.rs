@@ -8,11 +8,7 @@ use std::io::{self, Write};
 /// # Errors
 ///
 /// Propagates writer failures.
-pub fn write_series<W: Write>(
-    mut w: W,
-    name: &str,
-    series: &[(String, f64)],
-) -> io::Result<()> {
+pub fn write_series<W: Write>(mut w: W, name: &str, series: &[(String, f64)]) -> io::Result<()> {
     writeln!(w, "{name},value")?;
     for (label, value) in series {
         writeln!(w, "{label},{value}")?;
@@ -41,7 +37,11 @@ pub fn write_xy_series<W: Write>(
         if ys.len() != y_names.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("row for x={x} has {} values, expected {}", ys.len(), y_names.len()),
+                format!(
+                    "row for x={x} has {} values, expected {}",
+                    ys.len(),
+                    y_names.len()
+                ),
             ));
         }
         write!(w, "{x}")?;

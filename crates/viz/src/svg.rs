@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn trajectories_render_as_paths() {
         let tracks = vec![
-            vec![Point2::new(0.0, 0.0), Point2::new(10.0, 10.0), Point2::new(20.0, 5.0)],
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(10.0, 10.0),
+                Point2::new(20.0, 5.0),
+            ],
             vec![Point2::new(50.0, 50.0)], // too short, skipped
         ];
         let svg = trajectories_svg(&tracks, region(), &SvgStyle::default());

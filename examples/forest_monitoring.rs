@@ -8,15 +8,14 @@
 //!
 //! Run with: `cargo run --release --example forest_monitoring`
 
-use cps::core::evaluate_deployment;
-use cps::core::osd::{baselines, FraBuilder};
-use cps::geometry::{GridSpec, Point2, Rect};
+use cps::core::osd::baselines;
 use cps::greenorbs::{Channel, Dataset, ForestConfig};
+use cps::prelude::*;
 use cps::viz::{ascii_heatmap, ascii_scatter, topology_summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cps::Error> {
     // Load (here: synthesize) the sensing trace and pick the region of
     // interest — a 100 x 100 m patch of the forest.
     let dataset = Dataset::generate(&ForestConfig::default());
@@ -37,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Plan 80 stationary nodes with the paper's parameters (Rc = 10 m).
     let k = 80;
     let plan = FraBuilder::new(k, 10.0).grid(grid).run(&reference)?;
-    println!("FRA deployment plan — {}", topology_summary(&plan.positions));
+    println!(
+        "FRA deployment plan — {}",
+        topology_summary(&plan.positions)
+    );
     println!("{}", ascii_scatter(&plan.positions, region, 60, 22));
 
     // Validate on the planning hour and on a later hour (11:00): the

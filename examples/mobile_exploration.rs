@@ -8,15 +8,13 @@
 //!
 //! Run with: `cargo run --release --example mobile_exploration`
 
-use cps::core::evaluate_deployment;
-use cps::field::{GaussianBlob, GaussianMixtureField, DriftingField, TimeVaryingField};
-use cps::geometry::{GridSpec, Point2, Rect};
+use cps::field::{DriftingField, GaussianBlob, GaussianMixtureField};
 use cps::linalg::Vec2;
 use cps::network::UnitDiskGraph;
-use cps::sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+use cps::prelude::*;
 use cps::viz::ascii_scatter;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cps::Error> {
     let region = Rect::square(100.0)?;
     let grid = GridSpec::new(region, 101, 101)?;
 
@@ -37,14 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 100 robots on a connected 10x10 grid (spacing inside Rc = 10 m).
     let start = scenario::grid_start_spaced(region, 100, 9.3);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 0.0)?;
+    let mut sim = CmaBuilder::new(region, start).run(&field)?;
 
     println!("initial formation:");
     println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
 
     let mut timeline = DeltaTimeline::new();
     let e0 = timeline.record(&sim, &grid)?;
-    println!("t =  0 min   delta = {:>8.1}   connected = {}", e0.delta, e0.connected);
+    println!(
+        "t =  0 min   delta = {:>8.1}   connected = {}",
+        e0.delta, e0.connected
+    );
 
     for minute in 1..=60 {
         let report = sim.step()?;

@@ -3,13 +3,11 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cps::core::evaluate_deployment;
-use cps::core::osd::FraBuilder;
-use cps::field::{Field, PeaksField, ReconstructedSurface};
-use cps::geometry::{GridSpec, Rect};
+use cps::field::PeaksField;
+use cps::prelude::*;
 use cps::viz::{ascii_heatmap, ascii_scatter};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cps::Error> {
     // The environment: Matlab's classic `peaks` surface over a
     // 100 x 100 m region (the paper's Fig. 3 benchmark).
     let region = Rect::square(100.0)?;
@@ -33,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", ascii_scatter(&result.positions, region, 60, 22));
 
     // Rebuild the surface from the node samples and compare.
-    let samples: Vec<f64> = result.positions.iter().map(|&p| reference.value(p)).collect();
+    let samples: Vec<f64> = result
+        .positions
+        .iter()
+        .map(|&p| reference.value(p))
+        .collect();
     let rebuilt = ReconstructedSurface::from_samples(region, &result.positions, &samples)?;
     println!("what the deployment sees (Delaunay reconstruction):");
     println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 22));

@@ -22,33 +22,50 @@
 //! | [`linalg`] | `cps-linalg` | small dense linear algebra |
 //! | [`viz`] | `cps-viz` | ASCII/CSV/PGM figure rendering |
 //!
+//! Most programs only need [`prelude`], which gathers the common
+//! surface (region/grid types, the two algorithm builders, deployment
+//! evaluation, the [`Parallelism`](cps_field::Parallelism) thread
+//! policy) behind one import, and [`Error`], which any crate's error
+//! converts into with `?`.
+//!
 //! # Quickstart
 //!
 //! Place 20 stationary nodes on a known surface with the foresighted
 //! refinement algorithm and measure the reconstruction error:
 //!
 //! ```
-//! use cps::core::osd::FraBuilder;
-//! use cps::core::evaluate_deployment;
-//! use cps::field::PeaksField;
-//! use cps::geometry::{GridSpec, Rect};
+//! use cps::prelude::*;
 //!
-//! let region = Rect::square(100.0).unwrap();
-//! let grid = GridSpec::new(region, 51, 51).unwrap();
-//! let reference = PeaksField::new(region, 8.0);
+//! fn main() -> Result<(), cps::Error> {
+//!     let region = Rect::square(100.0)?;
+//!     let grid = GridSpec::new(region, 51, 51)?;
+//!     let reference = cps::field::PeaksField::new(region, 8.0);
 //!
-//! let result = FraBuilder::new(20, 10.0).grid(grid).run(&reference).unwrap();
-//! let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid).unwrap();
-//! assert!(eval.connected);
-//! println!("delta = {}", eval.delta);
+//!     let result = FraBuilder::new(20, 10.0)
+//!         .grid(grid)
+//!         .parallelism(Parallelism::auto())
+//!         .run(&reference)?;
+//!     let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid)?;
+//!     assert!(eval.connected);
+//!     println!("delta = {}", eval.delta);
+//!     Ok(())
+//! }
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench/src/bin/`
-//! for the harnesses that regenerate every figure of the paper
-//! (documented in EXPERIMENTS.md).
+//! The δ quadrature and the per-node sense/decide sweeps run on a
+//! row-sharded thread pool ([`Parallelism`](cps_field::Parallelism)
+//! picks the worker count, `auto()` = all cores); results are
+//! bit-identical at any thread count. See `examples/` for end-to-end
+//! scenarios and `crates/bench/src/bin/` for the harnesses that
+//! regenerate every figure of the paper (documented in EXPERIMENTS.md).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod error;
+pub mod prelude;
+
+pub use error::Error;
 
 pub use cps_core as core;
 pub use cps_field as field;

@@ -1,0 +1,49 @@
+//! The commonly used surface of the workspace in one import.
+//!
+//! ```
+//! use cps::prelude::*;
+//! ```
+//!
+//! brings in the region/grid types, the field traits, the two
+//! algorithm builders ([`FraBuilder`] for stationary placement,
+//! [`CmaBuilder`] for the mobile swarm), deployment evaluation, the
+//! thread-count policy [`Parallelism`], and the workspace-wide
+//! [`Error`](crate::Error). Anything more specialised stays behind the
+//! per-crate modules (`cps::field`, `cps::geometry`, ...).
+
+pub use crate::Error;
+pub use cps_core::osd::{FraBuilder, FraResult};
+pub use cps_core::{
+    analyze_deployment, analyze_deployment_with, evaluate_deployment, evaluate_deployment_with,
+    CoreError, DeploymentEvaluation, DeploymentReport,
+};
+pub use cps_field::{Field, Parallelism, ReconstructedSurface, Static, TimeVaryingField};
+pub use cps_geometry::{GridSpec, Point2, Rect};
+pub use cps_sim::{scenario, CmaBuilder, DeltaTimeline, SimConfig, Simulation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_covers_the_quickstart_path() {
+        let region = Rect::square(50.0).unwrap();
+        let grid = GridSpec::new(region, 31, 31).unwrap();
+        let reference = cps_field::PeaksField::new(region, 8.0);
+        let result = FraBuilder::new(12, 10.0)
+            .grid(grid)
+            .parallelism(Parallelism::auto())
+            .run(&reference)
+            .unwrap();
+        let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid).unwrap();
+        assert!(eval.connected);
+
+        let field = Static::new(cps_field::PeaksField::new(region, 8.0));
+        let start = scenario::grid_start(region, 9);
+        let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
+        sim.step().unwrap();
+        let mut timeline = DeltaTimeline::new();
+        timeline.record(&sim, &grid).unwrap();
+        assert_eq!(timeline.len(), 1);
+    }
+}

@@ -4,7 +4,7 @@
 use cps::field::{GaussianBlob, GaussianMixtureField, Static};
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::network::UnitDiskGraph;
-use cps::sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+use cps::sim::{scenario, CmaBuilder, DeltaTimeline};
 
 fn field() -> Static<GaussianMixtureField> {
     Static::new(GaussianMixtureField::new(
@@ -20,7 +20,7 @@ fn field() -> Static<GaussianMixtureField> {
 fn swarm_survives_interior_failures() {
     let region = Rect::square(100.0).unwrap();
     let start = scenario::grid_start_spaced(region, 49, 9.3);
-    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     let grid = GridSpec::new(region, 41, 41).unwrap();
     let mut timeline = DeltaTimeline::new();
 
@@ -63,7 +63,7 @@ fn swarm_survives_interior_failures() {
 fn failure_api_validates_ids() {
     let region = Rect::square(50.0).unwrap();
     let start = scenario::grid_start_spaced(region, 9, 9.3);
-    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     assert!(sim.fail_node(99).is_err());
     sim.fail_node(4).unwrap();
     assert!(sim.fail_node(4).is_err(), "double failure must be rejected");
@@ -77,7 +77,7 @@ fn mass_failure_can_partition_but_never_panics() {
     // parts it cannot hear). The simulation must stay sound regardless.
     let region = Rect::square(100.0).unwrap();
     let start = scenario::grid_start_spaced(region, 49, 9.3);
-    let mut sim = Simulation::new(field(), region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     // Column 3 of the 7×7 grid.
     for row in 0..7 {
         sim.fail_node(row * 7 + 3).unwrap();

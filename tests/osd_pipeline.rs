@@ -33,7 +33,10 @@ fn fra_plan_is_feasible_and_beats_random_at_mid_budget() {
     assert_eq!(plan.refined + plan.relays, k);
 
     let eval = evaluate_deployment(&reference, &plan.positions, 10.0, &grid).unwrap();
-    assert!(eval.connected, "FRA must satisfy the connectivity constraint");
+    assert!(
+        eval.connected,
+        "FRA must satisfy the connectivity constraint"
+    );
     assert!(eval.delta.is_finite() && eval.delta > 0.0);
 
     // Fig. 7's headline: at a healthy mid-range budget FRA beats the
@@ -63,8 +66,14 @@ fn more_budget_means_no_worse_reconstruction() {
     let reference = dataset
         .region_field(region, Channel::Light, 10, 51)
         .unwrap();
-    let small = FraBuilder::new(40, 10.0).grid(grid).run(&reference).unwrap();
-    let large = FraBuilder::new(120, 10.0).grid(grid).run(&reference).unwrap();
+    let small = FraBuilder::new(40, 10.0)
+        .grid(grid)
+        .run(&reference)
+        .unwrap();
+    let large = FraBuilder::new(120, 10.0)
+        .grid(grid)
+        .run(&reference)
+        .unwrap();
     let es = evaluate_deployment(&reference, &small.positions, 10.0, &grid).unwrap();
     let el = evaluate_deployment(&reference, &large.positions, 10.0, &grid).unwrap();
     assert!(

@@ -6,7 +6,7 @@ use cps::field::TimeVaryingField;
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::greenorbs::{ForestConfig, LatentLightField};
 use cps::network::UnitDiskGraph;
-use cps::sim::{scenario, ConvergenceDetector, DeltaTimeline, SimConfig, Simulation};
+use cps::sim::{scenario, CmaBuilder, ConvergenceDetector, DeltaTimeline};
 
 fn scenario_setup() -> (LatentLightField, Rect, GridSpec) {
     let field = LatentLightField::new(&ForestConfig::default());
@@ -19,7 +19,10 @@ fn scenario_setup() -> (LatentLightField, Rect, GridSpec) {
 fn cma_keeps_the_network_connected_through_45_minutes() {
     let (field, region, _grid) = scenario_setup();
     let start = scenario::grid_start_spaced(region, 100, 9.3);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start)
+        .start_time(600.0)
+        .run(&field)
+        .unwrap();
     // Debug builds run a shortened horizon; release runs the paper's.
     let horizon = if cfg!(debug_assertions) { 9 } else { 45 };
     for minute in 1..=horizon {
@@ -35,17 +38,17 @@ fn cma_keeps_the_network_connected_through_45_minutes() {
     }
     // Nobody escaped the region or teleported.
     assert!(sim.positions().iter().all(|p| region.contains(*p)));
-    assert!(sim
-        .nodes()
-        .iter()
-        .all(|n| n.traveled <= 45.0 + 1e-6));
+    assert!(sim.nodes().iter().all(|n| n.traveled <= 45.0 + 1e-6));
 }
 
 #[test]
 fn cma_does_not_degrade_the_initial_reconstruction_much() {
     let (field, region, grid) = scenario_setup();
     let start = scenario::grid_start_spaced(region, 100, 9.3);
-    let mut sim = Simulation::new(&field, region, SimConfig::default(), start, 600.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start)
+        .start_time(600.0)
+        .run(&field)
+        .unwrap();
     let mut timeline = DeltaTimeline::new();
     let e0 = timeline.record(&sim, &grid).unwrap();
     let horizon = if cfg!(debug_assertions) { 8 } else { 30 };
@@ -71,7 +74,7 @@ fn stationary_regime_is_detected_on_a_flat_field() {
     // 5×5 cell-centre grid: 20 m spacing keeps nodes out of each
     // other's communication range, so a flat field exerts no force.
     let start = scenario::grid_start(region, 25);
-    let mut sim = Simulation::new(field, region, SimConfig::default(), start, 0.0).unwrap();
+    let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
     let mut detector = ConvergenceDetector::new(0.05, 3);
     let mut converged = false;
     for _ in 0..10 {
@@ -88,7 +91,10 @@ fn stationary_regime_is_detected_on_a_flat_field() {
 fn evaluation_against_the_moving_truth_uses_the_right_instant() {
     let (field, region, grid) = scenario_setup();
     let start = scenario::grid_start_spaced(region, 36, 9.3);
-    let sim = Simulation::new(&field, region, SimConfig::default(), start.clone(), 600.0).unwrap();
+    let sim = CmaBuilder::new(region, start.clone())
+        .start_time(600.0)
+        .run(&field)
+        .unwrap();
     let mut timeline = DeltaTimeline::new();
     let recorded = timeline.record(&sim, &grid).unwrap();
     // Recomputing by hand against the frozen field must agree.

@@ -7,7 +7,7 @@ use cps::core::evaluate_deployment;
 use cps::core::osd::{baselines, FraBuilder};
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
-use cps::sim::{scenario, DeltaTimeline, SimConfig, Simulation};
+use cps::sim::{scenario, CmaBuilder, DeltaTimeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,7 +62,10 @@ fn cma_stays_connected_and_does_not_regress() {
     let field = LatentLightField::new(&ForestConfig::default());
     let grid = GridSpec::new(region(), resolution, resolution).unwrap();
     let start = scenario::grid_start_spaced(region(), 100, 9.3);
-    let mut sim = Simulation::new(&field, region(), SimConfig::default(), start, 600.0).unwrap();
+    let mut sim = CmaBuilder::new(region(), start)
+        .start_time(600.0)
+        .run(&field)
+        .unwrap();
     let mut timeline = DeltaTimeline::new();
     let e0 = timeline.record(&sim, &grid).unwrap();
     assert!(e0.connected, "the paper's initial grid must be connected");

@@ -28,7 +28,9 @@ fn csv_round_trip_preserves_the_extracted_surface() {
     let a = original
         .region_field(region, Channel::Light, 10, 31)
         .unwrap();
-    let b = rebuilt.region_field(region, Channel::Light, 10, 31).unwrap();
+    let b = rebuilt
+        .region_field(region, Channel::Light, 10, 31)
+        .unwrap();
     for (x, y) in a.values().iter().zip(b.values()) {
         assert!((x - y).abs() < 1e-4, "{x} vs {y}");
     }
@@ -62,7 +64,9 @@ fn channels_are_physically_plausible_at_every_hour() {
     let dataset = Dataset::generate(&config());
     let region = Rect::new(Point2::new(30.0, 30.0), Point2::new(110.0, 110.0)).unwrap();
     for hour in [0u32, 6, 10, 12] {
-        let light = dataset.region_field(region, Channel::Light, hour, 21).unwrap();
+        let light = dataset
+            .region_field(region, Channel::Light, hour, 21)
+            .unwrap();
         assert!(light.min_value() >= 0.0, "negative light at hour {hour}");
         let humidity = dataset
             .region_field(region, Channel::Humidity, hour, 21)
