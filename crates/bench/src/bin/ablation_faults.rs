@@ -1,0 +1,60 @@
+//! **Ablation** — per-slot node death rate under fault injection.
+//!
+//! Sweeps the random death probability on the Fig. 8-10 scenario
+//! (30 simulated minutes, lossy links fixed at 10%) and reports the
+//! δ-vs-death-rate curve: how gracefully the swarm degrades as nodes
+//! drop out mid-run. Recovery (relay re-planning toward bridged gaps)
+//! is left on its default `auto` policy, so partitions heal when a
+//! relay plan exists.
+
+use cps_bench::{eval_grid, paper_region, PAPER_RC};
+use cps_greenorbs::{ForestConfig, LatentLightField};
+use cps_sim::{scenario, CmaBuilder, DeltaTimeline, FaultPlan};
+
+fn main() {
+    let region = paper_region();
+    let field = LatentLightField::new(&ForestConfig::default());
+    let grid = eval_grid();
+
+    println!("=== Ablation: node death rate (30 min of CMA, 100 nodes, 10% link loss) ===");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "p_death", "survivors", "delta_start", "delta_end", "partitions", "retried"
+    );
+    for p_death in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1] {
+        let plan = FaultPlan::builder()
+            .seed(42)
+            .death_rate(p_death)
+            .link_loss(0.1, 2)
+            .build()
+            .expect("valid fault plan");
+        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+        let mut sim = CmaBuilder::new(region, start)
+            .start_time(600.0)
+            .faults(plan)
+            .run(&field)
+            .expect("sim constructs");
+        let mut timeline = DeltaTimeline::new();
+        let e0 = timeline.record(&sim, &grid).expect("evaluation");
+        let mut retried = 0usize;
+        for _ in 0..30 {
+            retried += sim.step().expect("step succeeds").retried;
+        }
+        let e1 = timeline.record(&sim, &grid).expect("evaluation");
+        let partitions = sim
+            .fault_events()
+            .iter()
+            .filter(|e| matches!(e, cps_sim::FaultEvent::Partition { .. }))
+            .count();
+        println!(
+            "{p_death:>8.3} {:>10} {:>12.1} {:>12.1} {:>10} {:>10}",
+            sim.alive_count(),
+            e0.delta,
+            e1.delta,
+            partitions,
+            retried
+        );
+    }
+    println!("\nhigher death rates shrink the survivor set; delta degrades smoothly");
+    println!("rather than erroring, and lossy links only cost retries.");
+}

@@ -3,12 +3,13 @@
 use std::error::Error;
 use std::fs;
 
-use cps_core::analyze_deployment_with;
 use cps_core::osd::FraBuilder;
+use cps_core::{analyze_deployment_with, SurvivabilityTracker};
 use cps_field::{Field, Parallelism};
 use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
-use cps_sim::{scenario, CmaBuilder, DeltaTimeline, TrajectoryRecorder};
+use cps_network::UnitDiskGraph;
+use cps_sim::{scenario, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan, TrajectoryRecorder};
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
 
 use crate::args::Args;
@@ -25,7 +26,13 @@ commands:
   plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv] [--threads N]
             plan a stationary deployment with FRA and report its quality
   simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
-            run the CMA mobile swarm on the latent light field
+            [--faults spec] [--report out.json]
+            run the CMA mobile swarm on the latent light field; --faults
+            injects a deterministic fault schedule (comma-separated
+            key=value: seed=N, kill=NODE@SLOT, cull=FRAC@SLOT, death=P,
+            battery=CAP:IDLE:MOVE, dropout=P, outlier=P:MAG,
+            stuck=P:SLOTS, loss=P[:RETRIES], recovery=auto|on|off) and
+            --report writes the survivability report JSON
   report    --trace trace.json --plan plan.csv [--rc 10] [--hour 10] [--threads N]
             full quality/robustness report for an existing deployment
   help      show this text
@@ -143,6 +150,8 @@ pub fn simulate(args: &Args) -> CmdResult {
     let minutes = args.usize_or("minutes", 45)?;
     let seed = args.u64_or("seed", ForestConfig::default().seed)?;
     let svg_path = args.string_or("svg", "");
+    let faults_spec = args.string_or("faults", "");
+    let report_path = args.string_or("report", "");
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
@@ -153,25 +162,89 @@ pub fn simulate(args: &Args) -> CmdResult {
     let field = LatentLightField::new(&config);
     let grid = GridSpec::new(region(), 101, 101)?;
     let start = scenario::grid_start_spaced(region(), k, 9.3);
-    let mut sim = CmaBuilder::new(region(), start)
+    let mut builder = CmaBuilder::new(region(), start)
         .parallelism(par)
-        .start_time(600.0)
-        .run(&field)?;
+        .start_time(600.0);
+    if !faults_spec.is_empty() {
+        builder = builder.faults(FaultPlan::parse(&faults_spec)?);
+    }
+    let mut sim = builder.run(&field)?;
     let mut timeline = DeltaTimeline::with_parallelism(par);
     let mut tracks = TrajectoryRecorder::new();
+    let mut survivability = SurvivabilityTracker::new(k);
     tracks.record(&sim);
     let e0 = timeline.record(&sim, &grid)?;
+    survivability.observe_slot(sim.time(), sim.alive_count(), 1, Some(e0.delta));
     println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
     for minute in 1..=minutes {
         let r = sim.step()?;
         tracks.record(&sim);
-        if minute % 5 == 0 || minute == minutes {
+        survivability.observe_messages(r.messages, r.retried, r.dropped);
+        let sampled = if minute % 5 == 0 || minute == minutes {
             let e = timeline.record(&sim, &grid)?;
             println!(
-                "t=10:{minute:02}  delta {:.1}  connected {}  moved {}  lcm {}",
-                e.delta, e.connected, r.moved, r.lcm_followers
+                "t=10:{minute:02}  delta {:.1}  connected {}  moved {}  lcm {}{}",
+                e.delta,
+                e.connected,
+                r.moved,
+                r.lcm_followers,
+                if r.deaths > 0 {
+                    format!("  deaths {}", r.deaths)
+                } else {
+                    String::new()
+                },
             );
+            Some(e.delta)
+        } else {
+            None
+        };
+        survivability.observe_slot(sim.time(), sim.alive_count(), r.components, sampled);
+    }
+    if !faults_spec.is_empty() {
+        let survivors = UnitDiskGraph::new(sim.positions(), sim.config().cps.comm_radius())?;
+        survivability.set_critical_nodes(survivors.critical_nodes());
+        let report = survivability.finish();
+        println!(
+            "survivability: {}/{} nodes alive  partitions {} (reconnected {})  \
+             messages {} (retried {}, dropped {})",
+            report.surviving_nodes,
+            report.initial_nodes,
+            report.partitions,
+            report.reconnects,
+            report.messages,
+            report.retried,
+            report.dropped,
+        );
+        for event in sim.fault_events() {
+            match *event {
+                FaultEvent::Death { slot, node, .. } => {
+                    println!("  slot {slot:>3}: node {node} died");
+                }
+                FaultEvent::Partition {
+                    slot,
+                    components,
+                    critical,
+                    ..
+                } => {
+                    println!(
+                        "  slot {slot:>3}: network split into {components} components \
+                         ({critical} critical nodes remain)"
+                    );
+                }
+                FaultEvent::Reconnected {
+                    slot, after_slots, ..
+                } => {
+                    println!("  slot {slot:>3}: network reconnected after {after_slots} slots");
+                }
+            }
         }
+        if !report_path.is_empty() {
+            fs::write(&report_path, report.to_json())?;
+            println!("wrote {report_path} (survivability report)");
+        }
+    } else if !report_path.is_empty() {
+        fs::write(&report_path, survivability.finish().to_json())?;
+        println!("wrote {report_path} (survivability report)");
     }
     println!("final formation:");
     println!("{}", ascii_scatter(&sim.positions(), region(), 60, 24));

@@ -1,7 +1,7 @@
 //! Deployment evaluation: reconstruct from the node samples and measure
 //! the paper's δ against the reference surface.
 
-use cps_field::{delta, Field, Parallelism, ReconstructedSurface};
+use cps_field::{delta, Field, FieldError, Parallelism, PlaneField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Point2};
 use cps_network::UnitDiskGraph;
 
@@ -86,6 +86,82 @@ pub fn evaluate_deployment_with<F: Field + Sync>(
         connected: graph.is_connected(),
         node_count: positions.len(),
     })
+}
+
+/// Like [`evaluate_deployment`], but degrades gracefully instead of
+/// erroring when attrition leaves too few survivors for a Delaunay
+/// reconstruction: with fewer than three distinct positions the
+/// abstraction collapses to the best constant surface — the mean of the
+/// survivor samples (0 with no survivors at all) — and δ is measured
+/// against that. The honest, large δ shows up in survivability curves
+/// instead of aborting them.
+///
+/// On three or more distinct positions this is exactly
+/// [`evaluate_deployment`].
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_deployment`] except that
+/// [`FieldError::TooFewSamples`] is absorbed by the constant-surface
+/// fallback.
+pub fn evaluate_survivors<F: Field>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+) -> Result<DeploymentEvaluation, CoreError> {
+    match evaluate_deployment(reference, positions, comm_radius, grid) {
+        Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
+            let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
+            let surface = constant_fallback(reference, positions);
+            Ok(DeploymentEvaluation {
+                delta: delta::volume_difference(reference, &surface, grid),
+                rms: delta::rms_difference(reference, &surface, grid),
+                connected: graph.is_connected(),
+                node_count: positions.len(),
+            })
+        }
+        other => other,
+    }
+}
+
+/// Like [`evaluate_survivors`], on the parallel evaluation engine;
+/// bit-identical to the serial version at any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_survivors`].
+pub fn evaluate_survivors_with<F: Field + Sync>(
+    reference: &F,
+    positions: &[Point2],
+    comm_radius: f64,
+    grid: &GridSpec,
+    par: Parallelism,
+) -> Result<DeploymentEvaluation, CoreError> {
+    match evaluate_deployment_with(reference, positions, comm_radius, grid, par) {
+        Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
+            let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
+            let surface = constant_fallback(reference, positions);
+            Ok(DeploymentEvaluation {
+                delta: delta::volume_difference_with(reference, &surface, grid, par),
+                rms: delta::rms_difference_with(reference, &surface, grid, par),
+                connected: graph.is_connected(),
+                node_count: positions.len(),
+            })
+        }
+        other => other,
+    }
+}
+
+/// The degraded abstraction when a Delaunay reconstruction is
+/// impossible: the constant surface through the survivor-sample mean.
+fn constant_fallback<F: Field>(reference: &F, positions: &[Point2]) -> PlaneField {
+    let mean = if positions.is_empty() {
+        0.0
+    } else {
+        positions.iter().map(|&p| reference.value(p)).sum::<f64>() / positions.len() as f64
+    };
+    PlaneField::new(0.0, 0.0, mean)
 }
 
 #[cfg(test)]
@@ -177,5 +253,43 @@ mod tests {
             evaluate_deployment(&f, &nodes, 5.0, &grid),
             Err(CoreError::Field(_))
         ));
+    }
+
+    #[test]
+    fn survivors_match_full_evaluation_when_enough_nodes() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let nodes: Vec<Point2> = region.corners().to_vec();
+        let full = evaluate_deployment(&f, &nodes, 150.0, &grid).unwrap();
+        let surv = evaluate_survivors(&f, &nodes, 150.0, &grid).unwrap();
+        assert_eq!(full.delta.to_bits(), surv.delta.to_bits());
+        assert_eq!(full.rms.to_bits(), surv.rms.to_bits());
+        assert_eq!(full.connected, surv.connected);
+    }
+
+    #[test]
+    fn survivors_degrade_to_constant_surface_below_three_nodes() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        // Two survivors: the full evaluation errors, the degraded one
+        // measures against the constant surface through their mean.
+        let nodes = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
+        assert!(evaluate_deployment(&f, &nodes, 10.0, &grid).is_err());
+        let e = evaluate_survivors(&f, &nodes, 10.0, &grid).unwrap();
+        assert!(e.delta.is_finite() && e.delta > 0.0);
+        assert!(e.connected);
+        assert_eq!(e.node_count, 2);
+        // Zero survivors: δ against the zero plane — the volume itself.
+        let e = evaluate_survivors(&f, &[], 10.0, &grid).unwrap();
+        assert!(e.delta.is_finite() && e.delta > 0.0);
+        assert_eq!(e.node_count, 0);
+        // Parallel path is bit-identical.
+        let nodes = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
+        let serial = evaluate_survivors(&f, &nodes, 10.0, &grid).unwrap();
+        for par in [Parallelism::fixed(3), Parallelism::auto()] {
+            let p = evaluate_survivors_with(&f, &nodes, 10.0, &grid, par).unwrap();
+            assert_eq!(serial.delta.to_bits(), p.delta.to_bits(), "{par:?}");
+            assert_eq!(serial.rms.to_bits(), p.rms.to_bits(), "{par:?}");
+        }
     }
 }

@@ -59,6 +59,12 @@ mod report;
 pub use config::CpsConfig;
 pub use coverage::{coverage_histogram, sensing_coverage};
 pub use error::CoreError;
-pub use evaluate::{evaluate_deployment, evaluate_deployment_with, DeploymentEvaluation};
+pub use evaluate::{
+    evaluate_deployment, evaluate_deployment_with, evaluate_survivors, evaluate_survivors_with,
+    DeploymentEvaluation,
+};
 pub use problem::{OsdProblem, OstdProblem};
-pub use report::{analyze_deployment, analyze_deployment_with, DeploymentReport};
+pub use report::{
+    analyze_deployment, analyze_deployment_with, DeploymentReport, SurvivabilityReport,
+    SurvivabilityTracker,
+};

@@ -164,9 +164,14 @@ impl FraBuilder {
                 // Defensive: if deduplication dropped relays, fill with
                 // best remaining error positions so the budget is met.
                 while chosen.len() < self.k {
-                    let (p, _) = errors
-                        .argmax(&[])
-                        .expect("grid has more positions than any realistic k");
+                    let Some((p, _)) = errors.argmax(&[]) else {
+                        // Every grid position is spent: the budget
+                        // exceeds what the grid can host.
+                        return Err(CoreError::InvalidParameter {
+                            name: "k",
+                            requirement: "must not exceed the number of grid positions",
+                        });
+                    };
                     errors.mark_used(p);
                     if chosen.iter().all(|c| c.distance(p) > 1e-9) {
                         chosen.push(p);

@@ -137,6 +137,207 @@ fn finish_report(
     })
 }
 
+/// How gracefully a deployment degraded under a fault schedule: the δ
+/// cost of attrition, partition/recovery timing, and the message-level
+/// price of lossy links. Built incrementally by [`SurvivabilityTracker`]
+/// as a faulty simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivabilityReport {
+    /// Fleet size at deployment.
+    pub initial_nodes: usize,
+    /// Nodes still alive at the end of the run.
+    pub surviving_nodes: usize,
+    /// `1 − surviving/initial`.
+    pub fraction_dead: f64,
+    /// First recorded δ (None when no δ sample was taken).
+    pub baseline_delta: Option<f64>,
+    /// Last recorded δ.
+    pub final_delta: Option<f64>,
+    /// The degradation curve: `(fraction dead, δ)` at every δ sample,
+    /// in record order.
+    pub degradation: Vec<(f64, f64)>,
+    /// Times the surviving network split into multiple components.
+    pub partitions: usize,
+    /// Times it healed back into one component.
+    pub reconnects: usize,
+    /// Time (simulation minutes) each healed partition stayed open, in
+    /// order of recovery.
+    pub reconnect_times: Vec<f64>,
+    /// Whether the run ended partitioned.
+    pub unresolved_partition: bool,
+    /// Total single-hop message attempts across the run.
+    pub messages: usize,
+    /// Delivery attempts that were retries of lost messages.
+    pub retried: usize,
+    /// Directed link-slots whose whole retry budget failed.
+    pub dropped: usize,
+    /// Articulation points of the final surviving network — the nodes
+    /// whose loss would partition it again.
+    pub critical_nodes: Vec<usize>,
+}
+
+impl SurvivabilityReport {
+    /// δ degradation factor `final/baseline` (None without two δ
+    /// samples or with a zero baseline).
+    pub fn degradation_factor(&self) -> Option<f64> {
+        match (self.baseline_delta, self.final_delta) {
+            (Some(base), Some(end)) if base > 0.0 => Some(end / base),
+            _ => None,
+        }
+    }
+
+    /// Serializes the report as a JSON object (hand-rolled: the report
+    /// must survive environments without a serializer).
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn opt(x: Option<f64>) -> String {
+            x.map(num).unwrap_or_else(|| "null".to_string())
+        }
+        let degradation: Vec<String> = self
+            .degradation
+            .iter()
+            .map(|&(dead, delta)| format!("[{},{}]", num(dead), num(delta)))
+            .collect();
+        let reconnect_times: Vec<String> = self.reconnect_times.iter().map(|&t| num(t)).collect();
+        let critical: Vec<String> = self.critical_nodes.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"initial_nodes\":{},\"surviving_nodes\":{},\"fraction_dead\":{},\
+             \"baseline_delta\":{},\"final_delta\":{},\"degradation\":[{}],\
+             \"partitions\":{},\"reconnects\":{},\"reconnect_times\":[{}],\
+             \"unresolved_partition\":{},\"messages\":{},\"retried\":{},\
+             \"dropped\":{},\"critical_nodes\":[{}]}}",
+            self.initial_nodes,
+            self.surviving_nodes,
+            num(self.fraction_dead),
+            opt(self.baseline_delta),
+            opt(self.final_delta),
+            degradation.join(","),
+            self.partitions,
+            self.reconnects,
+            reconnect_times.join(","),
+            self.unresolved_partition,
+            self.messages,
+            self.retried,
+            self.dropped,
+            critical.join(","),
+        )
+    }
+}
+
+/// Accumulates a [`SurvivabilityReport`] from per-slot observations of
+/// a running (possibly faulty) simulation. Deliberately decoupled from
+/// the simulation types: feed it alive counts, component counts, δ
+/// samples, and message counters from any loop.
+#[derive(Debug, Clone)]
+pub struct SurvivabilityTracker {
+    initial_nodes: usize,
+    last_alive: usize,
+    baseline_delta: Option<f64>,
+    final_delta: Option<f64>,
+    degradation: Vec<(f64, f64)>,
+    partitions: usize,
+    reconnects: usize,
+    reconnect_times: Vec<f64>,
+    partition_open_since: Option<f64>,
+    messages: usize,
+    retried: usize,
+    dropped: usize,
+    critical_nodes: Vec<usize>,
+}
+
+impl SurvivabilityTracker {
+    /// A tracker for a fleet of `initial_nodes`.
+    pub fn new(initial_nodes: usize) -> Self {
+        SurvivabilityTracker {
+            initial_nodes,
+            last_alive: initial_nodes,
+            baseline_delta: None,
+            final_delta: None,
+            degradation: Vec::new(),
+            partitions: 0,
+            reconnects: 0,
+            reconnect_times: Vec::new(),
+            partition_open_since: None,
+            messages: 0,
+            retried: 0,
+            dropped: 0,
+            critical_nodes: Vec::new(),
+        }
+    }
+
+    /// Feeds one slot: simulation time, survivor count, component count
+    /// of the surviving network, and optionally a fresh δ sample.
+    pub fn observe_slot(&mut self, time: f64, alive: usize, components: usize, delta: Option<f64>) {
+        self.last_alive = alive;
+        if components >= 2 {
+            if self.partition_open_since.is_none() {
+                self.partition_open_since = Some(time);
+                self.partitions += 1;
+            }
+        } else if components == 1 {
+            if let Some(since) = self.partition_open_since.take() {
+                self.reconnects += 1;
+                self.reconnect_times.push(time - since);
+            }
+        }
+        if let Some(delta) = delta {
+            if self.baseline_delta.is_none() {
+                self.baseline_delta = Some(delta);
+            }
+            self.final_delta = Some(delta);
+            let dead = if self.initial_nodes == 0 {
+                0.0
+            } else {
+                1.0 - alive as f64 / self.initial_nodes as f64
+            };
+            self.degradation.push((dead, delta));
+        }
+    }
+
+    /// Adds one slot's message accounting (attempts, retries, drops).
+    pub fn observe_messages(&mut self, messages: usize, retried: usize, dropped: usize) {
+        self.messages += messages;
+        self.retried += retried;
+        self.dropped += dropped;
+    }
+
+    /// Records the articulation points of the final surviving network.
+    pub fn set_critical_nodes(&mut self, nodes: Vec<usize>) {
+        self.critical_nodes = nodes;
+    }
+
+    /// Finalizes the report.
+    pub fn finish(self) -> SurvivabilityReport {
+        let fraction_dead = if self.initial_nodes == 0 {
+            0.0
+        } else {
+            1.0 - self.last_alive as f64 / self.initial_nodes as f64
+        };
+        SurvivabilityReport {
+            initial_nodes: self.initial_nodes,
+            surviving_nodes: self.last_alive,
+            fraction_dead,
+            baseline_delta: self.baseline_delta,
+            final_delta: self.final_delta,
+            degradation: self.degradation,
+            partitions: self.partitions,
+            reconnects: self.reconnects,
+            reconnect_times: self.reconnect_times,
+            unresolved_partition: self.partition_open_since.is_some(),
+            messages: self.messages,
+            retried: self.retried,
+            dropped: self.dropped,
+            critical_nodes: self.critical_nodes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +378,69 @@ mod tests {
             "relay chains should contain cut vertices"
         );
         assert!(report.coverage_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn survivability_tracker_times_partitions() {
+        let mut t = SurvivabilityTracker::new(10);
+        t.observe_slot(0.0, 10, 1, Some(100.0));
+        t.observe_slot(1.0, 8, 2, None); // partition opens
+        t.observe_slot(2.0, 8, 2, Some(180.0)); // still open: counted once
+        t.observe_slot(5.0, 8, 1, Some(150.0)); // healed after 4 minutes
+        t.observe_messages(40, 3, 1);
+        t.observe_messages(38, 2, 0);
+        t.set_critical_nodes(vec![2, 5]);
+        let report = t.finish();
+        assert_eq!(report.initial_nodes, 10);
+        assert_eq!(report.surviving_nodes, 8);
+        assert!((report.fraction_dead - 0.2).abs() < 1e-12);
+        assert_eq!(report.partitions, 1);
+        assert_eq!(report.reconnects, 1);
+        assert_eq!(report.reconnect_times, vec![4.0]);
+        assert!(!report.unresolved_partition);
+        assert_eq!(report.baseline_delta, Some(100.0));
+        assert_eq!(report.final_delta, Some(150.0));
+        assert_eq!(report.degradation_factor(), Some(1.5));
+        assert_eq!(report.degradation.len(), 3);
+        assert_eq!(
+            (report.messages, report.retried, report.dropped),
+            (78, 5, 1)
+        );
+        assert_eq!(report.critical_nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn survivability_tracker_flags_unresolved_partition() {
+        let mut t = SurvivabilityTracker::new(4);
+        t.observe_slot(0.0, 4, 1, None);
+        t.observe_slot(1.0, 3, 2, None);
+        let report = t.finish();
+        assert_eq!(report.partitions, 1);
+        assert_eq!(report.reconnects, 0);
+        assert!(report.unresolved_partition);
+        assert_eq!(report.degradation_factor(), None);
+    }
+
+    #[test]
+    fn survivability_json_is_well_formed() {
+        let mut t = SurvivabilityTracker::new(3);
+        t.observe_slot(0.0, 3, 1, Some(12.5));
+        t.observe_slot(1.0, 2, 2, Some(20.0));
+        t.set_critical_nodes(vec![1]);
+        let json = t.finish().to_json();
+        // Structural spot checks (no serializer available here).
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"initial_nodes\":3"));
+        assert!(json.contains("\"surviving_nodes\":2"));
+        assert!(json.contains("\"baseline_delta\":12.5"));
+        assert!(json.contains("\"unresolved_partition\":true"));
+        assert!(json.contains("\"critical_nodes\":[1]"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

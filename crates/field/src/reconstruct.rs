@@ -167,11 +167,13 @@ impl Field for ReconstructedSurface {
             Some(z) => z,
             None => {
                 // Outside the hull of the samples: nearest-sample value.
-                let id = self
-                    .triangulation
-                    .nearest_vertex(p)
-                    .expect("surface has at least 3 vertices");
-                self.samples[id.0]
+                // Construction guarantees at least 3 vertices, so the
+                // lookup cannot fail; degrade to the sample mean rather
+                // than panicking mid-quadrature if that ever changes.
+                match self.triangulation.nearest_vertex(p) {
+                    Some(id) => self.samples[id.0],
+                    None => self.samples.iter().sum::<f64>() / self.samples.len().max(1) as f64,
+                }
             }
         }
     }

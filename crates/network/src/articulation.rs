@@ -84,6 +84,16 @@ pub fn criticality(graph: &UnitDiskGraph) -> f64 {
     articulation_points(graph).len() as f64 / graph.node_count() as f64
 }
 
+impl UnitDiskGraph {
+    /// The nodes whose individual failure would split this graph —
+    /// [`articulation_points`] as a method, for survivability
+    /// reporting. Killing any *other* node never increases the
+    /// component count (property-tested).
+    pub fn critical_nodes(&self) -> Vec<usize> {
+        articulation_points(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

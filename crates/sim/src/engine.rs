@@ -1,12 +1,16 @@
 //! The simulation world and stepping engine.
 
+use std::collections::HashSet;
+
 use cps_core::ostd::lcm;
 use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
 use cps_core::{CoreError, CpsConfig};
 use cps_field::par::map_rows;
 use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::{Point2, Rect};
-use cps_network::UnitDiskGraph;
+use cps_network::{articulation_points, UnitDiskGraph};
+
+use crate::fault::{recovery_overrides, FaultEvent, FaultPlan, FaultRuntime, SensorFault};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +70,20 @@ pub struct StepReport {
     /// Single-hop messages exchanged this slot: every alive edge
     /// carries the `(x, y, G)` report in both directions (Table 2 lines
     /// 4–5), and every mover broadcasts one `tell(nd, N)` (line 17).
+    /// With a lossy fault plan installed this counts *attempts*,
+    /// including retries of lost deliveries.
     pub messages: usize,
+    /// Nodes that died at the start of this slot (0 without a fault
+    /// plan).
+    pub deaths: usize,
+    /// Message delivery attempts that were retried this slot (0 without
+    /// link loss).
+    pub retried: usize,
+    /// Directed links whose every delivery attempt failed this slot (0
+    /// without link loss).
+    pub dropped: usize,
+    /// Connected components of the surviving network at slot start.
+    pub components: usize,
 }
 
 /// A running OSTD simulation over a time-varying field.
@@ -81,6 +98,8 @@ pub struct Simulation<F> {
     /// Decaying running maximum of observed node curvatures — the
     /// gossiped normalization reference fed to every CMA step.
     curvature_scale: f64,
+    /// Fault-injection state; `None` runs the pristine fast path.
+    fault: Option<FaultRuntime>,
 }
 
 impl<F: TimeVaryingField + Sync> Simulation<F> {
@@ -116,6 +135,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         config: SimConfig,
         initial_positions: Vec<Point2>,
         start_time: f64,
+        faults: Option<FaultPlan>,
     ) -> Result<Self, CoreError> {
         if initial_positions.is_empty() {
             return Err(CoreError::InvalidParameter {
@@ -144,7 +164,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
                 requirement: "must be positive and no larger than the sensing radius",
             });
         }
-        let nodes = initial_positions
+        let nodes: Vec<MobileNode> = initial_positions
             .into_iter()
             .enumerate()
             .map(|(id, position)| MobileNode {
@@ -155,6 +175,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
                 alive: true,
             })
             .collect();
+        let node_count = nodes.len();
         let mut sim = Simulation {
             field,
             region,
@@ -163,6 +184,10 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             nodes,
             time: start_time,
             curvature_scale: 0.0,
+            // The initial sensing pass below is deliberately fault-free:
+            // deployment happens before the mission clock starts, so
+            // slot 0 of the fault schedule applies to the first step().
+            fault: faults.map(|plan| FaultRuntime::new(plan, node_count)),
         };
         // Pre-movement sensing pass: every node estimates its initial
         // curvature so the first exchange (and the gossiped
@@ -257,6 +282,32 @@ impl<F: TimeVaryingField> Simulation<F> {
         &self.field
     }
 
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|rt| &rt.plan)
+    }
+
+    /// Everything the fault subsystem recorded so far: deaths,
+    /// partitions, reconnections. Empty without a fault plan.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.fault
+            .as_ref()
+            .map(|rt| rt.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Installs (or replaces) a fault plan mid-run; its slot 0 is the
+    /// next step. Prefer [`CmaBuilder::faults`] for whole-run plans.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultRuntime::new(plan, self.nodes.len()));
+    }
+
+    /// Whether the surviving network was split into multiple components
+    /// at the last fault-plan topology observation.
+    pub fn is_partitioned(&self) -> bool {
+        self.fault.as_ref().is_some_and(|rt| rt.partitioned())
+    }
+
     /// Overrides the CMA curvature gain (see
     /// [`CmaConfig::curvature_gain`]) for subsequent steps.
     pub fn set_curvature_gain(&mut self, gain: f64) {
@@ -300,6 +351,12 @@ impl<F: TimeVaryingField> Simulation<F> {
     /// nodes one-sided sample sets whose quadric fits alias the local
     /// gradient into phantom curvature, sending them chasing artefacts.
     fn sense(&self, center: Point2) -> Vec<(Point2, f64)> {
+        self.sense_at(center, self.time)
+    }
+
+    /// [`Simulation::sense`] at an explicit time — a stuck sensor keeps
+    /// sampling the field as of the instant it froze.
+    fn sense_at(&self, center: Point2, time: f64) -> Vec<(Point2, f64)> {
         let rs = self.config.cps.sensing_radius();
         let s = self.config.sense_spacing;
         let steps = (rs / s).floor() as i32;
@@ -308,7 +365,7 @@ impl<F: TimeVaryingField> Simulation<F> {
             for dy in -steps..=steps {
                 let p = Point2::new(center.x + dx as f64 * s, center.y + dy as f64 * s);
                 if center.distance(p) <= rs {
-                    out.push((p, self.field.value_at(p, self.time)));
+                    out.push((p, self.field.value_at(p, time)));
                 }
             }
         }
@@ -336,6 +393,22 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
     pub fn step(&mut self) -> Result<StepReport, CoreError> {
         let rc = self.config.cps.comm_radius();
         let max_move = self.config.cps.max_speed() * self.config.time_step;
+
+        // Phase 0 (fault plan only): slot-start deaths, drawn serially
+        // from this slot's dedicated stream so results stay
+        // bit-identical at any thread count.
+        let mut slot_rng = self.fault.as_ref().map(|rt| rt.slot_rng());
+        let mut deaths = 0usize;
+        if let (Some(rt), Some(rng)) = (self.fault.as_mut(), slot_rng.as_mut()) {
+            let mut alive: Vec<bool> = self.nodes.iter().map(|n| n.alive).collect();
+            deaths = rt.apply_deaths(rng, &mut alive, self.time);
+            if deaths > 0 {
+                for (node, &a) in self.nodes.iter_mut().zip(&alive) {
+                    node.alive = a;
+                }
+            }
+        }
+
         // All per-slot arrays below are indexed by *alive index*; the
         // mapping back to stable node ids is `alive_ids`.
         let alive_ids: Vec<usize> = self
@@ -346,7 +419,36 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             .collect();
         let positions = self.positions();
         let graph = UnitDiskGraph::new(positions.clone(), rc)?;
-        let mut messages = 2 * graph.edge_count();
+        let components = graph.component_count();
+
+        // Remaining fault draws for the slot (still serial): sensor
+        // faults per survivor, then directed link outages per edge.
+        // Partition bookkeeping and relay re-planning piggyback on the
+        // freshly built graph.
+        let mut sensor_faults: Vec<SensorFault> = Vec::new();
+        let mut link_down: HashSet<(usize, usize)> = HashSet::new();
+        let mut recovery: Vec<Option<Point2>> = Vec::new();
+        let mut retried = 0usize;
+        let mut dropped = 0usize;
+        let mut attempt_messages = None;
+        if let (Some(rt), Some(rng)) = (self.fault.as_mut(), slot_rng.as_mut()) {
+            let critical = if components >= 2 {
+                articulation_points(&graph).len()
+            } else {
+                0
+            };
+            rt.observe_topology(components, critical, self.time);
+            sensor_faults = rt.draw_sensor_faults(rng, &alive_ids, self.time);
+            let (down, re, dr, attempts) = rt.draw_link_outages(rng, &graph);
+            link_down = down;
+            retried = re;
+            dropped = dr;
+            attempt_messages = Some(attempts);
+            if components >= 2 && rt.plan.recovery_active() {
+                recovery = recovery_overrides(&graph);
+            }
+        }
+        let mut messages = attempt_messages.unwrap_or_else(|| 2 * graph.edge_count());
 
         // Phase 1: sense + curvature + CMA decision per node. Each
         // node's decision depends only on slot-start state, so the
@@ -360,18 +462,40 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             let alive_ids = &alive_ids;
             let graph = &graph;
             let cfg = &cfg;
+            let sensor_faults = &sensor_faults;
+            let link_down = &link_down;
             map_rows(alive_ids.len(), self.config.parallelism, move |i| {
                 let p = positions[i];
-                let sensed = this.sense(p);
+                let fault = sensor_faults.get(i).copied().unwrap_or(SensorFault::None);
+                if fault == SensorFault::Dropout {
+                    // No reading this slot: keep the previous curvature
+                    // estimate, hold position, stay reachable for LCM.
+                    return Ok::<_, CoreError>((this.nodes[alive_ids[i]].curvature, None));
+                }
+                // A stuck sensor keeps reporting the field as of the
+                // instant it froze.
+                let sense_time = match fault {
+                    SensorFault::Stuck { frozen_time } => frozen_time,
+                    _ => this.time,
+                };
+                let sensed = this.sense_at(p, sense_time);
                 let neighbors: Vec<NeighborInfo> = graph
                     .neighbors(i)
                     .iter()
+                    .filter(|&&j| !link_down.contains(&(j, i)))
                     .map(|&j| NeighborInfo {
                         position: positions[j],
                         curvature: this.nodes[alive_ids[j]].curvature,
                     })
                     .collect();
-                let value = this.field.value_at(p, this.time);
+                let mut value = this.field.value_at(p, sense_time);
+                if let SensorFault::Outlier(delta) = fault {
+                    // Corrupt only the node's own point reading: the
+                    // lattice is intact, so the quadric fit sees a
+                    // phantom spike at the center rather than a uniform
+                    // (curvature-invisible) offset.
+                    value += delta;
+                }
                 let out = cma_step(p, value, &sensed, &neighbors, cfg)?;
                 let dest = match out.action {
                     CmaAction::MoveTo(dest) => Some(dest),
@@ -385,6 +509,9 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         for (i, decision) in decisions.into_iter().enumerate() {
             let (curvature, dest) = decision?;
             new_curvature[i] = curvature;
+            // A recovery bridgehead overrides its own CMA decision and
+            // marches toward the opposite shore of the partition gap.
+            let dest = recovery.get(i).copied().flatten().or(dest);
             if dest.is_some() {
                 messages += 1; // the mover's tell(nd, N) broadcast
             }
@@ -424,6 +551,12 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
                 }
                 let nbrs = graph.neighbors(i);
                 for &j in nbrs {
+                    if link_down.contains(&(i, j)) {
+                        // The mover's tell() never reached this
+                        // neighbor: no cooperative repair on this edge
+                        // this slot.
+                        continue;
+                    }
                     if adjusted[j].distance(adjusted[i]) <= rc {
                         continue;
                     }
@@ -492,12 +625,25 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             .fold(0.0f64, f64::max);
         self.curvature_scale = observed.max(0.98 * self.curvature_scale);
 
+        // End-of-slot fault accounting: battery drain per survivor and
+        // the slot counter for the next stream.
+        if let Some(rt) = self.fault.as_mut() {
+            for (i, &id) in alive_ids.iter().enumerate() {
+                rt.drain_battery(id, positions[i].distance(adjusted[i]));
+            }
+            rt.slot += 1;
+        }
+
         Ok(StepReport {
             time: self.time,
             moved,
             lcm_followers,
             max_displacement,
             messages,
+            deaths,
+            retried,
+            dropped,
+            components,
         })
     }
 
@@ -542,6 +688,7 @@ pub struct CmaBuilder {
     initial_positions: Vec<Point2>,
     config: SimConfig,
     start_time: f64,
+    faults: Option<FaultPlan>,
 }
 
 impl CmaBuilder {
@@ -553,6 +700,7 @@ impl CmaBuilder {
             initial_positions,
             config: SimConfig::default(),
             start_time: 0.0,
+            faults: None,
         }
     }
 
@@ -577,6 +725,15 @@ impl CmaBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule (see
+    /// [`FaultPlan`](crate::FaultPlan)); slot 0 of the schedule is the
+    /// first [`Simulation::step`]. An all-zero plan leaves every result
+    /// bit-identical to running without one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the simulation over `field`, running the initial sensing
     /// pass.
     ///
@@ -592,6 +749,7 @@ impl CmaBuilder {
             self.config,
             self.initial_positions,
             self.start_time,
+            self.faults,
         )
     }
 }

@@ -34,6 +34,7 @@
 
 mod engine;
 mod exploration;
+mod fault;
 mod metrics;
 mod sampling;
 pub mod scenario;
@@ -41,6 +42,9 @@ mod trajectory;
 
 pub use engine::{CmaBuilder, MobileNode, SimConfig, Simulation, StepReport};
 pub use exploration::ExplorationTracker;
+pub use fault::{
+    BatteryModel, DeathCause, FaultEvent, FaultPlan, FaultPlanBuilder, RecoveryPolicy,
+};
 pub use metrics::{ConvergenceDetector, DeltaTimeline};
 pub use sampling::{path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank};
 pub use trajectory::TrajectoryRecorder;

@@ -1,11 +1,11 @@
 //! Simulation metrics: the δ(t) timeline of Fig. 10 and convergence
 //! detection.
 
-use cps_core::{evaluate_deployment_with, CoreError, DeploymentEvaluation};
+use cps_core::{evaluate_survivors_with, CoreError, DeploymentEvaluation};
 use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::GridSpec;
 
-use crate::Simulation;
+use crate::{FaultEvent, Simulation};
 
 /// A recorded series of `(time, δ)` samples — the paper's Fig. 10.
 ///
@@ -13,9 +13,21 @@ use crate::Simulation;
 /// ([`Parallelism::auto`] by default, see
 /// [`DeltaTimeline::with_parallelism`]); recorded values are
 /// bit-identical at any thread count.
+///
+/// When the simulation carries a fault plan, each
+/// [`record`](DeltaTimeline::record) call also copies the fault events
+/// that occurred since the previous recording, so deaths, partitions,
+/// and reconnections line up with the δ(t) series (see
+/// [`DeltaTimeline::events`]). Samples evaluate the *survivors*
+/// ([`cps_core::evaluate_survivors`]): a fleet culled below three nodes
+/// degrades to a constant-surface δ instead of erroring.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeltaTimeline {
     samples: Vec<(f64, DeploymentEvaluation)>,
+    events: Vec<FaultEvent>,
+    /// How many of the simulation's fault events have been copied into
+    /// `events` so far.
+    events_synced: usize,
     par: Parallelism,
 }
 
@@ -28,8 +40,8 @@ impl DeltaTimeline {
     /// An empty timeline whose recordings use the given thread policy.
     pub fn with_parallelism(par: Parallelism) -> Self {
         DeltaTimeline {
-            samples: Vec::new(),
             par,
+            ..DeltaTimeline::default()
         }
     }
 
@@ -39,23 +51,35 @@ impl DeltaTimeline {
     ///
     /// # Errors
     ///
-    /// Propagates [`cps_core::evaluate_deployment`] errors (fewer than
-    /// 3 distinct node positions).
+    /// Propagates [`cps_core::evaluate_survivors`] errors (a position
+    /// outside the grid, an invalid radius — not mere attrition).
     pub fn record<F: TimeVaryingField + Sync>(
         &mut self,
         sim: &Simulation<F>,
         grid: &GridSpec,
     ) -> Result<DeploymentEvaluation, CoreError> {
         let frozen = sim.field().at_time(sim.time());
-        let eval = evaluate_deployment_with(
+        let eval = evaluate_survivors_with(
             &frozen,
             &sim.positions(),
             sim.config().cps.comm_radius(),
             grid,
             self.par,
         )?;
+        let pending = sim.fault_events();
+        if pending.len() > self.events_synced {
+            self.events
+                .extend_from_slice(&pending[self.events_synced..]);
+            self.events_synced = pending.len();
+        }
         self.samples.push((sim.time(), eval));
         Ok(eval)
+    }
+
+    /// Fault events copied from the simulation, in occurrence order
+    /// (empty without a fault plan).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     /// The recorded `(time, evaluation)` samples, in record order.
@@ -73,7 +97,7 @@ impl DeltaTimeline {
         self.samples
             .iter()
             .map(|&(_, e)| e.delta)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite deltas"))
+            .min_by(f64::total_cmp)
     }
 
     /// Number of samples.

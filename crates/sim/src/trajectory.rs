@@ -51,7 +51,7 @@ impl TrajectoryRecorder {
     pub fn longest_track(&self) -> Option<(usize, f64)> {
         (0..self.tracks.len())
             .map(|id| (id, self.path_length(id)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lengths"))
+            .max_by(|a, b| f64::total_cmp(&a.1, &b.1))
     }
 
     /// Linear interpolation of a node's position at time `t` (clamped

@@ -15,11 +15,15 @@ pub use crate::Error;
 pub use cps_core::osd::{FraBuilder, FraResult};
 pub use cps_core::{
     analyze_deployment, analyze_deployment_with, evaluate_deployment, evaluate_deployment_with,
-    CoreError, DeploymentEvaluation, DeploymentReport,
+    evaluate_survivors, evaluate_survivors_with, CoreError, DeploymentEvaluation, DeploymentReport,
+    SurvivabilityReport, SurvivabilityTracker,
 };
 pub use cps_field::{Field, Parallelism, ReconstructedSurface, Static, TimeVaryingField};
 pub use cps_geometry::{GridSpec, Point2, Rect};
-pub use cps_sim::{scenario, CmaBuilder, DeltaTimeline, SimConfig, Simulation};
+pub use cps_sim::{
+    scenario, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan, FaultPlanBuilder, RecoveryPolicy,
+    SimConfig, Simulation,
+};
 
 #[cfg(test)]
 mod tests {
@@ -45,5 +49,36 @@ mod tests {
         let mut timeline = DeltaTimeline::new();
         timeline.record(&sim, &grid).unwrap();
         assert_eq!(timeline.len(), 1);
+    }
+
+    #[test]
+    fn prelude_covers_the_fault_injection_path() {
+        let region = Rect::square(50.0).unwrap();
+        let field = Static::new(cps_field::PeaksField::new(region, 8.0));
+        let plan = FaultPlanBuilder::default()
+            .seed(7)
+            .kill(0, 1)
+            .link_loss(0.1, 2)
+            .recovery(RecoveryPolicy::Auto)
+            .build()
+            .unwrap();
+        let start = scenario::grid_start(region, 9);
+        let mut sim = CmaBuilder::new(region, start)
+            .faults(plan)
+            .run(field)
+            .unwrap();
+        let mut tracker = SurvivabilityTracker::new(9);
+        for _ in 0..3 {
+            let r = sim.step().unwrap();
+            tracker.observe_messages(r.messages, r.retried, r.dropped);
+            tracker.observe_slot(sim.time(), sim.alive_count(), r.components, None);
+        }
+        assert_eq!(sim.alive_count(), 8);
+        assert!(sim
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Death { node: 0, .. })));
+        let report: SurvivabilityReport = tracker.finish();
+        assert_eq!(report.surviving_nodes, 8);
     }
 }

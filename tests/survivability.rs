@@ -1,0 +1,175 @@
+//! Integration: graceful degradation under a fault schedule — the swarm
+//! must detect partitions, heal them by relay re-planning, and keep
+//! producing an honest δ all the way down to an empty fleet.
+
+use cps::field::{GaussianBlob, GaussianMixtureField, PlaneField, Static};
+use cps::prelude::*;
+
+/// A chain of 7 nodes at exactly Rc spacing on a flat field: no
+/// curvature, no repulsion (spacing 10 is outside the ~9.5 m
+/// equilibrium), so without faults nobody ever moves. Killing the
+/// middle node leaves a 20 m gap that only the recovery machinery can
+/// close.
+fn chain_start() -> Vec<Point2> {
+    (0..7).map(|i| Point2::new(10.0 * i as f64, 50.0)).collect()
+}
+
+#[test]
+fn killed_bridge_node_partitions_then_recovery_heals_the_chain() {
+    let region = Rect::square(100.0).unwrap();
+    let field = Static::new(PlaneField::new(0.0, 0.0, 3.0));
+    let plan = FaultPlan::builder().seed(1).kill(3, 2).build().unwrap();
+    let mut sim = CmaBuilder::new(region, chain_start())
+        .faults(plan)
+        .run(field)
+        .unwrap();
+    let mut tracker = SurvivabilityTracker::new(7);
+
+    // Slots 0-1: nothing injected, nothing moves.
+    for _ in 0..2 {
+        let r = sim.step().unwrap();
+        assert_eq!(r.moved, 0);
+        assert_eq!(r.deaths, 0);
+        assert_eq!(r.components, 1);
+        tracker.observe_slot(sim.time(), sim.alive_count(), r.components, None);
+    }
+
+    // Slot 2: node 3 (x = 30) dies, splitting the chain into 0-2 and
+    // 4-6 with a 20 m gap between the bridgeheads at x = 20 and x = 40.
+    let r = sim.step().unwrap();
+    assert_eq!(r.deaths, 1);
+    assert_eq!(r.components, 2);
+    assert!(sim.is_partitioned());
+    tracker.observe_slot(sim.time(), sim.alive_count(), r.components, None);
+    assert!(sim
+        .fault_events()
+        .iter()
+        .any(|e| matches!(e, FaultEvent::Partition { components: 2, .. })));
+
+    // Recovery: the bridgeheads march at each other 1 m/min, LCM drags
+    // their chains along. The 20 m gap closes 2 m per slot, so the
+    // graph must reconnect within ~6 more slots.
+    let mut reconnected_at = None;
+    for _ in 0..10 {
+        let r = sim.step().unwrap();
+        tracker.observe_slot(sim.time(), sim.alive_count(), r.components, None);
+        if r.components == 1 {
+            reconnected_at = Some(sim.time());
+            break;
+        }
+        assert!(r.moved >= 2, "both shores must keep closing the gap");
+    }
+    assert!(
+        reconnected_at.is_some(),
+        "relay re-planning failed to heal the partition: events {:?}",
+        sim.fault_events()
+    );
+    assert!(!sim.is_partitioned());
+    assert!(sim
+        .fault_events()
+        .iter()
+        .any(|e| matches!(e, FaultEvent::Reconnected { .. })));
+
+    let report = tracker.finish();
+    assert_eq!(report.initial_nodes, 7);
+    assert_eq!(report.surviving_nodes, 6);
+    assert_eq!(report.partitions, 1);
+    assert_eq!(report.reconnects, 1);
+    assert!(!report.unresolved_partition);
+    assert_eq!(report.reconnect_times.len(), 1);
+    assert!(
+        report.reconnect_times[0] <= 8.0,
+        "gap must close within 8 min"
+    );
+}
+
+fn lumpy_field() -> Static<GaussianMixtureField> {
+    Static::new(GaussianMixtureField::new(
+        2.0,
+        vec![
+            GaussianBlob::isotropic(Point2::new(30.0, 60.0), 25.0, 6.0),
+            GaussianBlob::isotropic(Point2::new(70.0, 30.0), 20.0, 5.0),
+        ],
+    ))
+}
+
+#[test]
+fn swarm_completes_run_with_cull_and_lossy_links() {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 41, 41).unwrap();
+    let start = cps::sim::scenario::grid_start_spaced(region, 49, 9.3);
+    // The acceptance scenario: 10% of the fleet culled mid-run plus 20%
+    // per-attempt message loss, still a complete, measurable run.
+    let plan = FaultPlan::parse("seed=3,cull=0.1@10,loss=0.2:2").unwrap();
+    let mut sim = CmaBuilder::new(region, start)
+        .faults(plan)
+        .run(lumpy_field())
+        .unwrap();
+    let mut timeline = DeltaTimeline::new();
+    let mut tracker = SurvivabilityTracker::new(49);
+    let e0 = timeline.record(&sim, &grid).unwrap();
+    tracker.observe_slot(sim.time(), sim.alive_count(), 1, Some(e0.delta));
+    let mut retried = 0usize;
+    for slot in 1..=30 {
+        let r = sim.step().unwrap();
+        retried += r.retried;
+        let delta = if slot % 5 == 0 {
+            Some(timeline.record(&sim, &grid).unwrap().delta)
+        } else {
+            None
+        };
+        tracker.observe_slot(sim.time(), sim.alive_count(), r.components, delta);
+        tracker.observe_messages(r.messages, r.retried, r.dropped);
+    }
+    assert_eq!(sim.alive_count(), 44, "cull of 10% of 49 = 5 victims");
+    assert!(retried > 0, "20% loss must trigger retries over 30 slots");
+    let report = tracker.finish();
+    assert_eq!(report.surviving_nodes, 44);
+    assert!((report.fraction_dead - 5.0 / 49.0).abs() < 1e-12);
+    assert!(report.messages > 0 && report.retried > 0);
+    assert!(report.baseline_delta.is_some() && report.final_delta.is_some());
+    assert!(report.final_delta.unwrap().is_finite());
+    let json = report.to_json();
+    assert!(json.contains("\"surviving_nodes\":44"));
+    // Five deaths were logged, and the timeline carries them too.
+    let deaths = sim
+        .fault_events()
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::Death { .. }))
+        .count();
+    assert_eq!(deaths, 5);
+    assert_eq!(timeline.events().len(), sim.fault_events().len());
+}
+
+#[test]
+fn total_fleet_loss_degrades_delta_instead_of_erroring() {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 41, 41).unwrap();
+    let start = cps::sim::scenario::grid_start_spaced(region, 16, 9.3);
+    let plan = FaultPlan::builder().seed(2).cull(1.0, 3).build().unwrap();
+    // A flat plane at z = 3 gives the live swarm a near-perfect
+    // reconstruction (δ ≈ 0), so the empty-fleet constant-0 fallback
+    // (δ = 3 · area) is unambiguously worse.
+    let field = Static::new(PlaneField::new(0.0, 0.0, 3.0));
+    let mut sim = CmaBuilder::new(region, start)
+        .faults(plan)
+        .run(field)
+        .unwrap();
+    let mut timeline = DeltaTimeline::new();
+    let healthy = timeline.record(&sim, &grid).unwrap();
+    for _ in 0..6 {
+        sim.step().unwrap();
+    }
+    assert_eq!(sim.alive_count(), 0);
+    // The survivor evaluation falls back to a constant surface: a large
+    // but finite δ, not an error.
+    let dead = timeline.record(&sim, &grid).unwrap();
+    assert_eq!(dead.node_count, 0);
+    assert!(dead.delta.is_finite());
+    assert!(
+        dead.delta > healthy.delta,
+        "losing every node must cost δ: {} -> {}",
+        healthy.delta,
+        dead.delta
+    );
+}
