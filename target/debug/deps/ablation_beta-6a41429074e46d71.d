@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-6a41429074e46d71.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/libablation_beta-6a41429074e46d71.rmeta: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

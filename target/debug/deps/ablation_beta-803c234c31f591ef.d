@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_beta-803c234c31f591ef.d: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_beta-803c234c31f591ef.rmeta: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+crates/bench/src/bin/ablation_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-a06803c06ec5eb22.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-a06803c06ec5eb22: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

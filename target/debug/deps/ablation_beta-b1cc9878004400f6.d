@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-b1cc9878004400f6.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/libablation_beta-b1cc9878004400f6.rmeta: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_beta-b7b0508b342e3f89.d: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_beta-b7b0508b342e3f89.rmeta: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+crates/bench/src/bin/ablation_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

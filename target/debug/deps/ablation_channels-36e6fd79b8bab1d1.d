@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_channels-36e6fd79b8bab1d1.d: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_channels-36e6fd79b8bab1d1.rmeta: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-3cde8a0e6d9e65f9.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/libablation_channels-3cde8a0e6d9e65f9.rmeta: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

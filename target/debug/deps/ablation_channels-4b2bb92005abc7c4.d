@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-4b2bb92005abc7c4.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/libablation_channels-4b2bb92005abc7c4.rmeta: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_channels-4f4b8d01b14ff9ad.d: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_channels-4f4b8d01b14ff9ad.rmeta: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

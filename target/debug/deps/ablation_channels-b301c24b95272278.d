@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-b301c24b95272278.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/ablation_channels-b301c24b95272278: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_concave-696a3973e7de0013.d: crates/bench/src/bin/ablation_concave.rs
+
+/root/repo/target/debug/deps/ablation_concave-696a3973e7de0013: crates/bench/src/bin/ablation_concave.rs
+
+crates/bench/src/bin/ablation_concave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_concave-93c8530baac3dce3.d: crates/bench/src/bin/ablation_concave.rs
+
+/root/repo/target/debug/deps/libablation_concave-93c8530baac3dce3.rmeta: crates/bench/src/bin/ablation_concave.rs
+
+crates/bench/src/bin/ablation_concave.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_concave-a70a7b8bb4742b9e.d: crates/bench/src/bin/ablation_concave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_concave-a70a7b8bb4742b9e.rmeta: crates/bench/src/bin/ablation_concave.rs Cargo.toml
+
+crates/bench/src/bin/ablation_concave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_concave-db3625115f5dcd56.d: crates/bench/src/bin/ablation_concave.rs
+
+/root/repo/target/debug/deps/libablation_concave-db3625115f5dcd56.rmeta: crates/bench/src/bin/ablation_concave.rs
+
+crates/bench/src/bin/ablation_concave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-1717005b175f43ed.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-1717005b175f43ed: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_faults-4201bd9956b04e2c.d: crates/bench/src/bin/ablation_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_faults-4201bd9956b04e2c.rmeta: crates/bench/src/bin/ablation_faults.rs Cargo.toml
+
+crates/bench/src/bin/ablation_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

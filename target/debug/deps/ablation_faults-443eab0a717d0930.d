@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-443eab0a717d0930.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-443eab0a717d0930: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

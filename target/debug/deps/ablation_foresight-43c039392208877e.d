@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_foresight-43c039392208877e.d: crates/bench/src/bin/ablation_foresight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_foresight-43c039392208877e.rmeta: crates/bench/src/bin/ablation_foresight.rs Cargo.toml
+
+crates/bench/src/bin/ablation_foresight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

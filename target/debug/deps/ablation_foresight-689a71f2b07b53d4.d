@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_foresight-689a71f2b07b53d4.d: crates/bench/src/bin/ablation_foresight.rs
+
+/root/repo/target/debug/deps/libablation_foresight-689a71f2b07b53d4.rmeta: crates/bench/src/bin/ablation_foresight.rs
+
+crates/bench/src/bin/ablation_foresight.rs:

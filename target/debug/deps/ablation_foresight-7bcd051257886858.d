@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_foresight-7bcd051257886858.d: crates/bench/src/bin/ablation_foresight.rs
+
+/root/repo/target/debug/deps/ablation_foresight-7bcd051257886858: crates/bench/src/bin/ablation_foresight.rs
+
+crates/bench/src/bin/ablation_foresight.rs:

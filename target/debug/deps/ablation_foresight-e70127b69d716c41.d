@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_foresight-e70127b69d716c41.d: crates/bench/src/bin/ablation_foresight.rs
+
+/root/repo/target/debug/deps/libablation_foresight-e70127b69d716c41.rmeta: crates/bench/src/bin/ablation_foresight.rs
+
+crates/bench/src/bin/ablation_foresight.rs:

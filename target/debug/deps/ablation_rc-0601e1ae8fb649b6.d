@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rc-0601e1ae8fb649b6.d: crates/bench/src/bin/ablation_rc.rs
+
+/root/repo/target/debug/deps/libablation_rc-0601e1ae8fb649b6.rmeta: crates/bench/src/bin/ablation_rc.rs
+
+crates/bench/src/bin/ablation_rc.rs:

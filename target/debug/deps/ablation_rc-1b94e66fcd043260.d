@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rc-1b94e66fcd043260.d: crates/bench/src/bin/ablation_rc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rc-1b94e66fcd043260.rmeta: crates/bench/src/bin/ablation_rc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rc-873cab57388cda0f.d: crates/bench/src/bin/ablation_rc.rs
+
+/root/repo/target/debug/deps/libablation_rc-873cab57388cda0f.rmeta: crates/bench/src/bin/ablation_rc.rs
+
+crates/bench/src/bin/ablation_rc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rc-b5d02a4396635526.d: crates/bench/src/bin/ablation_rc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rc-b5d02a4396635526.rmeta: crates/bench/src/bin/ablation_rc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

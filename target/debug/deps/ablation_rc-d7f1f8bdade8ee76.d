@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rc-d7f1f8bdade8ee76.d: crates/bench/src/bin/ablation_rc.rs
+
+/root/repo/target/debug/deps/ablation_rc-d7f1f8bdade8ee76: crates/bench/src/bin/ablation_rc.rs
+
+crates/bench/src/bin/ablation_rc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_trace_sampling-0cffde03ddbd1884.d: crates/bench/src/bin/ablation_trace_sampling.rs
+
+/root/repo/target/debug/deps/ablation_trace_sampling-0cffde03ddbd1884: crates/bench/src/bin/ablation_trace_sampling.rs
+
+crates/bench/src/bin/ablation_trace_sampling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_trace_sampling-6241151eec39fbb0.d: crates/bench/src/bin/ablation_trace_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_trace_sampling-6241151eec39fbb0.rmeta: crates/bench/src/bin/ablation_trace_sampling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_trace_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

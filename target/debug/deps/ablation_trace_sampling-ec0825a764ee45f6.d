@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_trace_sampling-ec0825a764ee45f6.d: crates/bench/src/bin/ablation_trace_sampling.rs
+
+/root/repo/target/debug/deps/libablation_trace_sampling-ec0825a764ee45f6.rmeta: crates/bench/src/bin/ablation_trace_sampling.rs
+
+crates/bench/src/bin/ablation_trace_sampling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_delta_json-0a4a9c6340749b8b.d: crates/bench/src/bin/bench_delta_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_delta_json-0a4a9c6340749b8b.rmeta: crates/bench/src/bin/bench_delta_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_delta_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_delta_json-3cb254461da56c02.d: crates/bench/src/bin/bench_delta_json.rs
+
+/root/repo/target/debug/deps/libbench_delta_json-3cb254461da56c02.rmeta: crates/bench/src/bin/bench_delta_json.rs
+
+crates/bench/src/bin/bench_delta_json.rs:

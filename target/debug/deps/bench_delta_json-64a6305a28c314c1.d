@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_delta_json-64a6305a28c314c1.d: crates/bench/src/bin/bench_delta_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_delta_json-64a6305a28c314c1.rmeta: crates/bench/src/bin/bench_delta_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_delta_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

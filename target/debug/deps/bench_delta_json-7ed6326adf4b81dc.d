@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_delta_json-7ed6326adf4b81dc.d: crates/bench/src/bin/bench_delta_json.rs
+
+/root/repo/target/debug/deps/bench_delta_json-7ed6326adf4b81dc: crates/bench/src/bin/bench_delta_json.rs
+
+crates/bench/src/bin/bench_delta_json.rs:

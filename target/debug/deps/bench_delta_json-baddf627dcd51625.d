@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_delta_json-baddf627dcd51625.d: crates/bench/src/bin/bench_delta_json.rs
+
+/root/repo/target/debug/deps/libbench_delta_json-baddf627dcd51625.rmeta: crates/bench/src/bin/bench_delta_json.rs
+
+crates/bench/src/bin/bench_delta_json.rs:

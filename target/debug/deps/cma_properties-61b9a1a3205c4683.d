@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cma_properties-61b9a1a3205c4683.d: crates/core/tests/cma_properties.rs
+
+/root/repo/target/debug/deps/cma_properties-61b9a1a3205c4683: crates/core/tests/cma_properties.rs
+
+crates/core/tests/cma_properties.rs:

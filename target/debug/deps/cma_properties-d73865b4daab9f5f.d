@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cma_properties-d73865b4daab9f5f.d: crates/core/tests/cma_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcma_properties-d73865b4daab9f5f.rmeta: crates/core/tests/cma_properties.rs Cargo.toml
+
+crates/core/tests/cma_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

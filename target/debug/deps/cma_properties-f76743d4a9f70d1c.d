@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cma_properties-f76743d4a9f70d1c.d: crates/core/tests/cma_properties.rs
+
+/root/repo/target/debug/deps/libcma_properties-f76743d4a9f70d1c.rmeta: crates/core/tests/cma_properties.rs
+
+crates/core/tests/cma_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cma_step-7919b1f4ad21d750.d: crates/bench/benches/cma_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcma_step-7919b1f4ad21d750.rmeta: crates/bench/benches/cma_step.rs Cargo.toml
+
+crates/bench/benches/cma_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cma_step-f2256e6dea0b2497.d: crates/bench/benches/cma_step.rs
+
+/root/repo/target/debug/deps/libcma_step-f2256e6dea0b2497.rmeta: crates/bench/benches/cma_step.rs
+
+crates/bench/benches/cma_step.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps-18af16fa1870d665.d: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/debug/deps/libcps-18af16fa1870d665.rmeta: src/lib.rs src/error.rs src/prelude.rs
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:

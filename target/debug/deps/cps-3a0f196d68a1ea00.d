@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cps-3a0f196d68a1ea00.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps-3a0f196d68a1ea00.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cps-46555708809b73bb.d: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/debug/deps/libcps-46555708809b73bb.rlib: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/debug/deps/libcps-46555708809b73bb.rmeta: src/lib.rs src/error.rs src/prelude.rs
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:

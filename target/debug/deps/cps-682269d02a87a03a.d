@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cps-682269d02a87a03a.d: src/lib.rs src/error.rs src/prelude.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps-682269d02a87a03a.rmeta: src/lib.rs src/error.rs src/prelude.rs Cargo.toml
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps-70563ad774edaa60.d: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/debug/deps/libcps-70563ad774edaa60.rmeta: src/lib.rs src/error.rs src/prelude.rs
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps-73770da25fcf2e2d.d: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/debug/deps/cps-73770da25fcf2e2d: src/lib.rs src/error.rs src/prelude.rs
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:

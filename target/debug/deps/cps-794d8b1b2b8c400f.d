@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps-794d8b1b2b8c400f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libcps-794d8b1b2b8c400f.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

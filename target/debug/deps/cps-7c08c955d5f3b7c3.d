@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps-7c08c955d5f3b7c3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cps-7c08c955d5f3b7c3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps-a62e162df9d8b901.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libcps-a62e162df9d8b901.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps-d7491dca759de228.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cps-d7491dca759de228: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

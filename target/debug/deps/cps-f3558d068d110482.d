@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cps-f3558d068d110482.d: src/lib.rs src/error.rs src/prelude.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps-f3558d068d110482.rmeta: src/lib.rs src/error.rs src/prelude.rs Cargo.toml
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

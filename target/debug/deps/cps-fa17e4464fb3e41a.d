@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cps-fa17e4464fb3e41a.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps-fa17e4464fb3e41a.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

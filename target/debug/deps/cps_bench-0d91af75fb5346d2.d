@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cps_bench-0d91af75fb5346d2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_bench-0d91af75fb5346d2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps_bench-6bd8e924fdf9da09.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcps_bench-6bd8e924fdf9da09.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps_bench-af2a6516b44cde8f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcps_bench-af2a6516b44cde8f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcps_bench-af2a6516b44cde8f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps_bench-c4fe71d23867c6f4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cps_bench-c4fe71d23867c6f4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

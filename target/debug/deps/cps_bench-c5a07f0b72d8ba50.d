@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cps_bench-c5a07f0b72d8ba50.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_bench-c5a07f0b72d8ba50.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

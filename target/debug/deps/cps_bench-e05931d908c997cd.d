@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cps_bench-e05931d908c997cd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcps_bench-e05931d908c997cd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps_cli-48c0e6eaa1541f1b.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libcps_cli-48c0e6eaa1541f1b.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps_cli-7580897cb5e348e1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/cps_cli-7580897cb5e348e1: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

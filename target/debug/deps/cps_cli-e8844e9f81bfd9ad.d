@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cps_cli-e8844e9f81bfd9ad.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libcps_cli-e8844e9f81bfd9ad.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cps_core-ca7da21b0caf552a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coverage.rs crates/core/src/error.rs crates/core/src/evaluate.rs crates/core/src/osd/mod.rs crates/core/src/osd/baselines.rs crates/core/src/osd/fra.rs crates/core/src/osd/local_error.rs crates/core/src/ostd/mod.rs crates/core/src/ostd/curvature.rs crates/core/src/ostd/cwd.rs crates/core/src/ostd/forces.rs crates/core/src/ostd/lcm.rs crates/core/src/ostd/cma.rs crates/core/src/problem.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/cps_core-ca7da21b0caf552a: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coverage.rs crates/core/src/error.rs crates/core/src/evaluate.rs crates/core/src/osd/mod.rs crates/core/src/osd/baselines.rs crates/core/src/osd/fra.rs crates/core/src/osd/local_error.rs crates/core/src/ostd/mod.rs crates/core/src/ostd/curvature.rs crates/core/src/ostd/cwd.rs crates/core/src/ostd/forces.rs crates/core/src/ostd/lcm.rs crates/core/src/ostd/cma.rs crates/core/src/problem.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/coverage.rs:
+crates/core/src/error.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/osd/mod.rs:
+crates/core/src/osd/baselines.rs:
+crates/core/src/osd/fra.rs:
+crates/core/src/osd/local_error.rs:
+crates/core/src/ostd/mod.rs:
+crates/core/src/ostd/curvature.rs:
+crates/core/src/ostd/cwd.rs:
+crates/core/src/ostd/forces.rs:
+crates/core/src/ostd/lcm.rs:
+crates/core/src/ostd/cma.rs:
+crates/core/src/problem.rs:
+crates/core/src/report.rs:

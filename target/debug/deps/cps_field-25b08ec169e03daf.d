@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cps_field-25b08ec169e03daf.d: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_field-25b08ec169e03daf.rmeta: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs Cargo.toml
+
+crates/field/src/lib.rs:
+crates/field/src/analytic.rs:
+crates/field/src/calculus.rs:
+crates/field/src/delta.rs:
+crates/field/src/dynamics.rs:
+crates/field/src/error.rs:
+crates/field/src/grid.rs:
+crates/field/src/noise.rs:
+crates/field/src/ops.rs:
+crates/field/src/par.rs:
+crates/field/src/reconstruct.rs:
+crates/field/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

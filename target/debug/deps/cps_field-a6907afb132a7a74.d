@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cps_field-a6907afb132a7a74.d: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs
+
+/root/repo/target/debug/deps/libcps_field-a6907afb132a7a74.rmeta: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs
+
+crates/field/src/lib.rs:
+crates/field/src/analytic.rs:
+crates/field/src/calculus.rs:
+crates/field/src/delta.rs:
+crates/field/src/dynamics.rs:
+crates/field/src/error.rs:
+crates/field/src/grid.rs:
+crates/field/src/noise.rs:
+crates/field/src/ops.rs:
+crates/field/src/par.rs:
+crates/field/src/reconstruct.rs:
+crates/field/src/traits.rs:

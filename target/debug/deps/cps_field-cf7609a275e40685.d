@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cps_field-cf7609a275e40685.d: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs
+
+/root/repo/target/debug/deps/libcps_field-cf7609a275e40685.rlib: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs
+
+/root/repo/target/debug/deps/libcps_field-cf7609a275e40685.rmeta: crates/field/src/lib.rs crates/field/src/analytic.rs crates/field/src/calculus.rs crates/field/src/delta.rs crates/field/src/dynamics.rs crates/field/src/error.rs crates/field/src/grid.rs crates/field/src/noise.rs crates/field/src/ops.rs crates/field/src/par.rs crates/field/src/reconstruct.rs crates/field/src/traits.rs
+
+crates/field/src/lib.rs:
+crates/field/src/analytic.rs:
+crates/field/src/calculus.rs:
+crates/field/src/delta.rs:
+crates/field/src/dynamics.rs:
+crates/field/src/error.rs:
+crates/field/src/grid.rs:
+crates/field/src/noise.rs:
+crates/field/src/ops.rs:
+crates/field/src/par.rs:
+crates/field/src/reconstruct.rs:
+crates/field/src/traits.rs:

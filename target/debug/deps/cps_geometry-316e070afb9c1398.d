@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cps_geometry-316e070afb9c1398.d: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_geometry-316e070afb9c1398.rmeta: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/delaunay.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/region.rs:
+crates/geometry/src/triangle.rs:
+crates/geometry/src/voronoi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cps_geometry-54cefe95ac9261cc.d: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs
+
+/root/repo/target/debug/deps/libcps_geometry-54cefe95ac9261cc.rmeta: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/delaunay.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/region.rs:
+crates/geometry/src/triangle.rs:
+crates/geometry/src/voronoi.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cps_greenorbs-0e2afbb89e229955.d: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_greenorbs-0e2afbb89e229955.rmeta: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs Cargo.toml
+
+crates/greenorbs/src/lib.rs:
+crates/greenorbs/src/csv.rs:
+crates/greenorbs/src/dataset.rs:
+crates/greenorbs/src/error.rs:
+crates/greenorbs/src/generator.rs:
+crates/greenorbs/src/records.rs:
+crates/greenorbs/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cps_greenorbs-34fe0e39fa42ceb8.d: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+/root/repo/target/debug/deps/libcps_greenorbs-34fe0e39fa42ceb8.rmeta: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+crates/greenorbs/src/lib.rs:
+crates/greenorbs/src/csv.rs:
+crates/greenorbs/src/dataset.rs:
+crates/greenorbs/src/error.rs:
+crates/greenorbs/src/generator.rs:
+crates/greenorbs/src/records.rs:
+crates/greenorbs/src/stats.rs:

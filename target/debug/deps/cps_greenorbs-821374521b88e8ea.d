@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cps_greenorbs-821374521b88e8ea.d: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+/root/repo/target/debug/deps/libcps_greenorbs-821374521b88e8ea.rmeta: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+crates/greenorbs/src/lib.rs:
+crates/greenorbs/src/csv.rs:
+crates/greenorbs/src/dataset.rs:
+crates/greenorbs/src/error.rs:
+crates/greenorbs/src/generator.rs:
+crates/greenorbs/src/records.rs:
+crates/greenorbs/src/stats.rs:

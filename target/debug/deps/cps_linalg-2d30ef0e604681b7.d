@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cps_linalg-2d30ef0e604681b7.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/cps_linalg-2d30ef0e604681b7: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lstsq.rs:
+crates/linalg/src/mat2.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/vector.rs:

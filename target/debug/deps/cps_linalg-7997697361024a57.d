@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cps_linalg-7997697361024a57.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libcps_linalg-7997697361024a57.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libcps_linalg-7997697361024a57.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lstsq.rs:
+crates/linalg/src/mat2.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/vector.rs:

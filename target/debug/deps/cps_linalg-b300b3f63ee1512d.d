@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cps_linalg-b300b3f63ee1512d.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_linalg-b300b3f63ee1512d.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lstsq.rs:
+crates/linalg/src/mat2.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

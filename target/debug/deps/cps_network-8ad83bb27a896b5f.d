@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cps_network-8ad83bb27a896b5f.d: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+/root/repo/target/debug/deps/libcps_network-8ad83bb27a896b5f.rmeta: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+crates/network/src/lib.rs:
+crates/network/src/articulation.rs:
+crates/network/src/components.rs:
+crates/network/src/connect.rs:
+crates/network/src/error.rs:
+crates/network/src/graph.rs:
+crates/network/src/mst.rs:
+crates/network/src/paths.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cps_network-e356600402879fae.d: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_network-e356600402879fae.rmeta: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/articulation.rs:
+crates/network/src/components.rs:
+crates/network/src/connect.rs:
+crates/network/src/error.rs:
+crates/network/src/graph.rs:
+crates/network/src/mst.rs:
+crates/network/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cps_network-fad3502b1e07b546.d: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+/root/repo/target/debug/deps/cps_network-fad3502b1e07b546: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+crates/network/src/lib.rs:
+crates/network/src/articulation.rs:
+crates/network/src/components.rs:
+crates/network/src/connect.rs:
+crates/network/src/error.rs:
+crates/network/src/graph.rs:
+crates/network/src/mst.rs:
+crates/network/src/paths.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cps_sim-4895c77e06c053e6.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs
+
+/root/repo/target/debug/deps/cps_sim-4895c77e06c053e6: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exploration.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sampling.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cps_sim-f2a3901583cfb77a.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_sim-f2a3901583cfb77a.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exploration.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sampling.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cps_viz-56ab389412af27b2.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+/root/repo/target/debug/deps/libcps_viz-56ab389412af27b2.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/pgm.rs:
+crates/viz/src/svg.rs:
+crates/viz/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cps_viz-765e6d17c941a64e.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+/root/repo/target/debug/deps/libcps_viz-765e6d17c941a64e.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+/root/repo/target/debug/deps/libcps_viz-765e6d17c941a64e.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/pgm.rs:
+crates/viz/src/svg.rs:
+crates/viz/src/topology.rs:

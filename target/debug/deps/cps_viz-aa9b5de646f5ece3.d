@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cps_viz-aa9b5de646f5ece3.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcps_viz-aa9b5de646f5ece3.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/pgm.rs:
+crates/viz/src/svg.rs:
+crates/viz/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

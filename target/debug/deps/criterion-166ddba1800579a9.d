@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-166ddba1800579a9.d: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-166ddba1800579a9.rmeta: /root/depstubs/criterion/src/lib.rs
+
+/root/depstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b85db4999ab0c1fe.d: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b85db4999ab0c1fe.rlib: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b85db4999ab0c1fe.rmeta: /root/depstubs/criterion/src/lib.rs
+
+/root/depstubs/criterion/src/lib.rs:

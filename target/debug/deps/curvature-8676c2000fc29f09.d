@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/curvature-8676c2000fc29f09.d: crates/bench/benches/curvature.rs
+
+/root/repo/target/debug/deps/libcurvature-8676c2000fc29f09.rmeta: crates/bench/benches/curvature.rs
+
+crates/bench/benches/curvature.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/curvature-b6c9f83be0dae7c2.d: crates/bench/benches/curvature.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcurvature-b6c9f83be0dae7c2.rmeta: crates/bench/benches/curvature.rs Cargo.toml
+
+crates/bench/benches/curvature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delaunay-0ca544b4f1fd6d9d.d: crates/bench/benches/delaunay.rs
+
+/root/repo/target/debug/deps/libdelaunay-0ca544b4f1fd6d9d.rmeta: crates/bench/benches/delaunay.rs
+
+crates/bench/benches/delaunay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delaunay-9029e164b6c8fc33.d: crates/bench/benches/delaunay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelaunay-9029e164b6c8fc33.rmeta: crates/bench/benches/delaunay.rs Cargo.toml
+
+crates/bench/benches/delaunay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

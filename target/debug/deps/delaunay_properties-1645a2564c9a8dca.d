@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delaunay_properties-1645a2564c9a8dca.d: crates/geometry/tests/delaunay_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelaunay_properties-1645a2564c9a8dca.rmeta: crates/geometry/tests/delaunay_properties.rs Cargo.toml
+
+crates/geometry/tests/delaunay_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

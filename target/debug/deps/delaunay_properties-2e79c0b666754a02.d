@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delaunay_properties-2e79c0b666754a02.d: crates/geometry/tests/delaunay_properties.rs
+
+/root/repo/target/debug/deps/libdelaunay_properties-2e79c0b666754a02.rmeta: crates/geometry/tests/delaunay_properties.rs
+
+crates/geometry/tests/delaunay_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delaunay_properties-d61949d14786f899.d: crates/geometry/tests/delaunay_properties.rs
+
+/root/repo/target/debug/deps/delaunay_properties-d61949d14786f899: crates/geometry/tests/delaunay_properties.rs
+
+crates/geometry/tests/delaunay_properties.rs:

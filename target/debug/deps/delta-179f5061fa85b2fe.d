@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delta-179f5061fa85b2fe.d: crates/bench/benches/delta.rs
+
+/root/repo/target/debug/deps/libdelta-179f5061fa85b2fe.rmeta: crates/bench/benches/delta.rs
+
+crates/bench/benches/delta.rs:

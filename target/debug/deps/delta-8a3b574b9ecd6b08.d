@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delta-8a3b574b9ecd6b08.d: crates/bench/benches/delta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelta-8a3b574b9ecd6b08.rmeta: crates/bench/benches/delta.rs Cargo.toml
+
+crates/bench/benches/delta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

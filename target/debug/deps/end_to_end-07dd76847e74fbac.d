@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/end_to_end-07dd76847e74fbac.d: crates/cli/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-07dd76847e74fbac: crates/cli/tests/end_to_end.rs
+
+crates/cli/tests/end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_cps=/root/repo/target/debug/cps

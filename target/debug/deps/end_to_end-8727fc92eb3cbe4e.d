@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-8727fc92eb3cbe4e.d: crates/cli/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-8727fc92eb3cbe4e.rmeta: crates/cli/tests/end_to_end.rs Cargo.toml
+
+crates/cli/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_cps=placeholder:cps
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

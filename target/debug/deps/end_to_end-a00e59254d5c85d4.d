@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/end_to_end-a00e59254d5c85d4.d: crates/cli/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-a00e59254d5c85d4.rmeta: crates/cli/tests/end_to_end.rs
+
+crates/cli/tests/end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_cps=placeholder:cps

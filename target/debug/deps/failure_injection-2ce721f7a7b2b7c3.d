@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-2ce721f7a7b2b7c3.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-2ce721f7a7b2b7c3: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-5cb7761aa25145d7.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-5cb7761aa25145d7.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-1365128bb9ca96b2.d: crates/sim/tests/fault_properties.rs
+
+/root/repo/target/debug/deps/fault_properties-1365128bb9ca96b2: crates/sim/tests/fault_properties.rs
+
+crates/sim/tests/fault_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_properties-ba0cb1268efaa6af.d: crates/sim/tests/fault_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_properties-ba0cb1268efaa6af.rmeta: crates/sim/tests/fault_properties.rs Cargo.toml
+
+crates/sim/tests/fault_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/field_properties-3bc15ddc39868425.d: crates/field/tests/field_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfield_properties-3bc15ddc39868425.rmeta: crates/field/tests/field_properties.rs Cargo.toml
+
+crates/field/tests/field_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

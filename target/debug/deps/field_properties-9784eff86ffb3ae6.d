@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/field_properties-9784eff86ffb3ae6.d: crates/field/tests/field_properties.rs
+
+/root/repo/target/debug/deps/field_properties-9784eff86ffb3ae6: crates/field/tests/field_properties.rs
+
+crates/field/tests/field_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/field_properties-ef9bc96af1f28754.d: crates/field/tests/field_properties.rs
+
+/root/repo/target/debug/deps/libfield_properties-ef9bc96af1f28754.rmeta: crates/field/tests/field_properties.rs
+
+crates/field/tests/field_properties.rs:

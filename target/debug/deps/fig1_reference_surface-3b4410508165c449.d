@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_reference_surface-3b4410508165c449.d: crates/bench/src/bin/fig1_reference_surface.rs
+
+/root/repo/target/debug/deps/libfig1_reference_surface-3b4410508165c449.rmeta: crates/bench/src/bin/fig1_reference_surface.rs
+
+crates/bench/src/bin/fig1_reference_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_reference_surface-4247fabbb7750401.d: crates/bench/src/bin/fig1_reference_surface.rs
+
+/root/repo/target/debug/deps/fig1_reference_surface-4247fabbb7750401: crates/bench/src/bin/fig1_reference_surface.rs
+
+crates/bench/src/bin/fig1_reference_surface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_reference_surface-e01c36a84343ffa7.d: crates/bench/src/bin/fig1_reference_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_reference_surface-e01c36a84343ffa7.rmeta: crates/bench/src/bin/fig1_reference_surface.rs Cargo.toml
+
+crates/bench/src/bin/fig1_reference_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

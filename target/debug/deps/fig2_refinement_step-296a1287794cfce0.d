@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_refinement_step-296a1287794cfce0.d: crates/bench/src/bin/fig2_refinement_step.rs
+
+/root/repo/target/debug/deps/fig2_refinement_step-296a1287794cfce0: crates/bench/src/bin/fig2_refinement_step.rs
+
+crates/bench/src/bin/fig2_refinement_step.rs:

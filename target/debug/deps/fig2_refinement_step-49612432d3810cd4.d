@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_refinement_step-49612432d3810cd4.d: crates/bench/src/bin/fig2_refinement_step.rs
+
+/root/repo/target/debug/deps/libfig2_refinement_step-49612432d3810cd4.rmeta: crates/bench/src/bin/fig2_refinement_step.rs
+
+crates/bench/src/bin/fig2_refinement_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_refinement_step-5b0d6dddbbf5159e.d: crates/bench/src/bin/fig2_refinement_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_refinement_step-5b0d6dddbbf5159e.rmeta: crates/bench/src/bin/fig2_refinement_step.rs Cargo.toml
+
+crates/bench/src/bin/fig2_refinement_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

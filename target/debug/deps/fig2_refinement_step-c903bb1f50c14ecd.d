@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_refinement_step-c903bb1f50c14ecd.d: crates/bench/src/bin/fig2_refinement_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_refinement_step-c903bb1f50c14ecd.rmeta: crates/bench/src/bin/fig2_refinement_step.rs Cargo.toml
+
+crates/bench/src/bin/fig2_refinement_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

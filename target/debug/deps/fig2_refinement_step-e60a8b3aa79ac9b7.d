@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_refinement_step-e60a8b3aa79ac9b7.d: crates/bench/src/bin/fig2_refinement_step.rs
+
+/root/repo/target/debug/deps/libfig2_refinement_step-e60a8b3aa79ac9b7.rmeta: crates/bench/src/bin/fig2_refinement_step.rs
+
+crates/bench/src/bin/fig2_refinement_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cwd_vs_uniform-464a9f44453474e1.d: crates/bench/src/bin/fig3_cwd_vs_uniform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cwd_vs_uniform-464a9f44453474e1.rmeta: crates/bench/src/bin/fig3_cwd_vs_uniform.rs Cargo.toml
+
+crates/bench/src/bin/fig3_cwd_vs_uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cwd_vs_uniform-5356bd437756afad.d: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+/root/repo/target/debug/deps/libfig3_cwd_vs_uniform-5356bd437756afad.rmeta: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+crates/bench/src/bin/fig3_cwd_vs_uniform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cwd_vs_uniform-7b22b386958e1b84.d: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+/root/repo/target/debug/deps/fig3_cwd_vs_uniform-7b22b386958e1b84: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+crates/bench/src/bin/fig3_cwd_vs_uniform.rs:

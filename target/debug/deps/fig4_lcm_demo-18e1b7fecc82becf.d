@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_lcm_demo-18e1b7fecc82becf.d: crates/bench/src/bin/fig4_lcm_demo.rs
+
+/root/repo/target/debug/deps/fig4_lcm_demo-18e1b7fecc82becf: crates/bench/src/bin/fig4_lcm_demo.rs
+
+crates/bench/src/bin/fig4_lcm_demo.rs:

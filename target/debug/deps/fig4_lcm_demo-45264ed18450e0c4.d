@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_lcm_demo-45264ed18450e0c4.d: crates/bench/src/bin/fig4_lcm_demo.rs
+
+/root/repo/target/debug/deps/libfig4_lcm_demo-45264ed18450e0c4.rmeta: crates/bench/src/bin/fig4_lcm_demo.rs
+
+crates/bench/src/bin/fig4_lcm_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_lcm_demo-af2fdeb84845ccb5.d: crates/bench/src/bin/fig4_lcm_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_lcm_demo-af2fdeb84845ccb5.rmeta: crates/bench/src/bin/fig4_lcm_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig4_lcm_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_lcm_demo-cb6562de92db0ac6.d: crates/bench/src/bin/fig4_lcm_demo.rs
+
+/root/repo/target/debug/deps/libfig4_lcm_demo-cb6562de92db0ac6.rmeta: crates/bench/src/bin/fig4_lcm_demo.rs
+
+crates/bench/src/bin/fig4_lcm_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_lcm_demo-e6a48f22bbb3fccf.d: crates/bench/src/bin/fig4_lcm_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_lcm_demo-e6a48f22bbb3fccf.rmeta: crates/bench/src/bin/fig4_lcm_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig4_lcm_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-534baec19211439b.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+/root/repo/target/debug/deps/libfig5_6_fra_surfaces-534baec19211439b.rmeta: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-a889de379de5d1b5.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+/root/repo/target/debug/deps/libfig5_6_fra_surfaces-a889de379de5d1b5.rmeta: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:

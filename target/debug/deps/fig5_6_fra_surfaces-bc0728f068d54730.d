@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-bc0728f068d54730.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6_fra_surfaces-bc0728f068d54730.rmeta: crates/bench/src/bin/fig5_6_fra_surfaces.rs Cargo.toml
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-fc0da550d0005ccc.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6_fra_surfaces-fc0da550d0005ccc.rmeta: crates/bench/src/bin/fig5_6_fra_surfaces.rs Cargo.toml
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-fd2d0f3bcaab49c7.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+/root/repo/target/debug/deps/fig5_6_fra_surfaces-fd2d0f3bcaab49c7: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_fra_vs_random-1d2849834f1ee36f.d: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+/root/repo/target/debug/deps/fig7_fra_vs_random-1d2849834f1ee36f: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+crates/bench/src/bin/fig7_fra_vs_random.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_fra_vs_random-3534d72c5b5448cb.d: crates/bench/src/bin/fig7_fra_vs_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_fra_vs_random-3534d72c5b5448cb.rmeta: crates/bench/src/bin/fig7_fra_vs_random.rs Cargo.toml
+
+crates/bench/src/bin/fig7_fra_vs_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_fra_vs_random-4373d449c95dc4e7.d: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+/root/repo/target/debug/deps/libfig7_fra_vs_random-4373d449c95dc4e7.rmeta: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+crates/bench/src/bin/fig7_fra_vs_random.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_fra_vs_random-5216b991a48fdff1.d: crates/bench/src/bin/fig7_fra_vs_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_fra_vs_random-5216b991a48fdff1.rmeta: crates/bench/src/bin/fig7_fra_vs_random.rs Cargo.toml
+
+crates/bench/src/bin/fig7_fra_vs_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

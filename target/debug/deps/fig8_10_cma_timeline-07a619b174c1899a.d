@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_10_cma_timeline-07a619b174c1899a.d: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+/root/repo/target/debug/deps/libfig8_10_cma_timeline-07a619b174c1899a.rmeta: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+crates/bench/src/bin/fig8_10_cma_timeline.rs:

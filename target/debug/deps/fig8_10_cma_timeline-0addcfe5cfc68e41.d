@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_10_cma_timeline-0addcfe5cfc68e41.d: crates/bench/src/bin/fig8_10_cma_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_10_cma_timeline-0addcfe5cfc68e41.rmeta: crates/bench/src/bin/fig8_10_cma_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig8_10_cma_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_10_cma_timeline-4b9fade3aa445896.d: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+/root/repo/target/debug/deps/fig8_10_cma_timeline-4b9fade3aa445896: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+crates/bench/src/bin/fig8_10_cma_timeline.rs:

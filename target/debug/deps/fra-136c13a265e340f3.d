@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fra-136c13a265e340f3.d: crates/bench/benches/fra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfra-136c13a265e340f3.rmeta: crates/bench/benches/fra.rs Cargo.toml
+
+crates/bench/benches/fra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

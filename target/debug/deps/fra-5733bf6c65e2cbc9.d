@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fra-5733bf6c65e2cbc9.d: crates/bench/benches/fra.rs
+
+/root/repo/target/debug/deps/libfra-5733bf6c65e2cbc9.rmeta: crates/bench/benches/fra.rs
+
+crates/bench/benches/fra.rs:

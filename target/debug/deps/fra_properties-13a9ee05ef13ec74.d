@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fra_properties-13a9ee05ef13ec74.d: crates/core/tests/fra_properties.rs
+
+/root/repo/target/debug/deps/libfra_properties-13a9ee05ef13ec74.rmeta: crates/core/tests/fra_properties.rs
+
+crates/core/tests/fra_properties.rs:

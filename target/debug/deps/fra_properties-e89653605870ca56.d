@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fra_properties-e89653605870ca56.d: crates/core/tests/fra_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfra_properties-e89653605870ca56.rmeta: crates/core/tests/fra_properties.rs Cargo.toml
+
+crates/core/tests/fra_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

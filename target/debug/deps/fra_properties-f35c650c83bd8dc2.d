@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fra_properties-f35c650c83bd8dc2.d: crates/core/tests/fra_properties.rs
+
+/root/repo/target/debug/deps/fra_properties-f35c650c83bd8dc2: crates/core/tests/fra_properties.rs
+
+crates/core/tests/fra_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locate_cache-5312715df1c30f43.d: crates/geometry/tests/locate_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocate_cache-5312715df1c30f43.rmeta: crates/geometry/tests/locate_cache.rs Cargo.toml
+
+crates/geometry/tests/locate_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locate_cache-715d3006548c2331.d: crates/geometry/tests/locate_cache.rs
+
+/root/repo/target/debug/deps/locate_cache-715d3006548c2331: crates/geometry/tests/locate_cache.rs
+
+crates/geometry/tests/locate_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locate_cache-7df684fa36efb643.d: crates/geometry/tests/locate_cache.rs
+
+/root/repo/target/debug/deps/liblocate_cache-7df684fa36efb643.rmeta: crates/geometry/tests/locate_cache.rs
+
+crates/geometry/tests/locate_cache.rs:

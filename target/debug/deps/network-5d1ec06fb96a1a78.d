@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network-5d1ec06fb96a1a78.d: crates/bench/benches/network.rs
+
+/root/repo/target/debug/deps/libnetwork-5d1ec06fb96a1a78.rmeta: crates/bench/benches/network.rs
+
+crates/bench/benches/network.rs:

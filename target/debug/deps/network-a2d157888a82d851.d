@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network-a2d157888a82d851.d: crates/bench/benches/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork-a2d157888a82d851.rmeta: crates/bench/benches/network.rs Cargo.toml
+
+crates/bench/benches/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

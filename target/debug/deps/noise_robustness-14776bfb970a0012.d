@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_robustness-14776bfb970a0012.d: tests/noise_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_robustness-14776bfb970a0012.rmeta: tests/noise_robustness.rs Cargo.toml
+
+tests/noise_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_robustness-15a6653736755a87.d: tests/noise_robustness.rs
+
+/root/repo/target/debug/deps/libnoise_robustness-15a6653736755a87.rmeta: tests/noise_robustness.rs
+
+tests/noise_robustness.rs:

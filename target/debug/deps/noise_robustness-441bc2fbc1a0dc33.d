@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_robustness-441bc2fbc1a0dc33.d: tests/noise_robustness.rs
+
+/root/repo/target/debug/deps/noise_robustness-441bc2fbc1a0dc33: tests/noise_robustness.rs
+
+tests/noise_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osd_pipeline-298bb8081feb73f9.d: tests/osd_pipeline.rs
+
+/root/repo/target/debug/deps/osd_pipeline-298bb8081feb73f9: tests/osd_pipeline.rs
+
+tests/osd_pipeline.rs:

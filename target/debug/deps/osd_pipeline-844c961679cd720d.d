@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/osd_pipeline-844c961679cd720d.d: tests/osd_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libosd_pipeline-844c961679cd720d.rmeta: tests/osd_pipeline.rs Cargo.toml
+
+tests/osd_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osd_pipeline-b3de46b1b5e4b79f.d: tests/osd_pipeline.rs
+
+/root/repo/target/debug/deps/libosd_pipeline-b3de46b1b5e4b79f.rmeta: tests/osd_pipeline.rs
+
+tests/osd_pipeline.rs:

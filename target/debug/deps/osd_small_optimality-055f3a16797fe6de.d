@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osd_small_optimality-055f3a16797fe6de.d: tests/osd_small_optimality.rs
+
+/root/repo/target/debug/deps/libosd_small_optimality-055f3a16797fe6de.rmeta: tests/osd_small_optimality.rs
+
+tests/osd_small_optimality.rs:

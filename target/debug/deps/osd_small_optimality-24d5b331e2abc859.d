@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osd_small_optimality-24d5b331e2abc859.d: tests/osd_small_optimality.rs
+
+/root/repo/target/debug/deps/osd_small_optimality-24d5b331e2abc859: tests/osd_small_optimality.rs
+
+tests/osd_small_optimality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/osd_small_optimality-c7f7f85516dbff2f.d: tests/osd_small_optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libosd_small_optimality-c7f7f85516dbff2f.rmeta: tests/osd_small_optimality.rs Cargo.toml
+
+tests/osd_small_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

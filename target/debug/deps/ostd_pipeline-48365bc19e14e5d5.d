@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ostd_pipeline-48365bc19e14e5d5.d: tests/ostd_pipeline.rs
+
+/root/repo/target/debug/deps/ostd_pipeline-48365bc19e14e5d5: tests/ostd_pipeline.rs
+
+tests/ostd_pipeline.rs:

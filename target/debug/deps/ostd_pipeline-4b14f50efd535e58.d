@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ostd_pipeline-4b14f50efd535e58.d: tests/ostd_pipeline.rs
+
+/root/repo/target/debug/deps/libostd_pipeline-4b14f50efd535e58.rmeta: tests/ostd_pipeline.rs
+
+tests/ostd_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ostd_pipeline-7e1f2ae1afcacfa6.d: tests/ostd_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libostd_pipeline-7e1f2ae1afcacfa6.rmeta: tests/ostd_pipeline.rs Cargo.toml
+
+tests/ostd_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

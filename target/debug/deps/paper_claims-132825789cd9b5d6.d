@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-132825789cd9b5d6.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-132825789cd9b5d6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

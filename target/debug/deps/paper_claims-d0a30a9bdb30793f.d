@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d0a30a9bdb30793f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-d0a30a9bdb30793f.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

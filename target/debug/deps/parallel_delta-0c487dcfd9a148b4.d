@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_delta-0c487dcfd9a148b4.d: crates/field/tests/parallel_delta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_delta-0c487dcfd9a148b4.rmeta: crates/field/tests/parallel_delta.rs Cargo.toml
+
+crates/field/tests/parallel_delta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

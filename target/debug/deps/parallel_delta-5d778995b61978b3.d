@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_delta-5d778995b61978b3.d: crates/field/tests/parallel_delta.rs
+
+/root/repo/target/debug/deps/libparallel_delta-5d778995b61978b3.rmeta: crates/field/tests/parallel_delta.rs
+
+crates/field/tests/parallel_delta.rs:

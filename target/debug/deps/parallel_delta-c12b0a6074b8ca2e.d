@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_delta-c12b0a6074b8ca2e.d: crates/field/tests/parallel_delta.rs
+
+/root/repo/target/debug/deps/parallel_delta-c12b0a6074b8ca2e: crates/field/tests/parallel_delta.rs
+
+crates/field/tests/parallel_delta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2c325a501af20570.d: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2c325a501af20570.rmeta: /root/depstubs/proptest/src/lib.rs
+
+/root/depstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6b7a28e335a19459.d: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6b7a28e335a19459.rlib: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6b7a28e335a19459.rmeta: /root/depstubs/proptest/src/lib.rs
+
+/root/depstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-824be9be10ea9203.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-824be9be10ea9203.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

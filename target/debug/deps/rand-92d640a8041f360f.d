@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-92d640a8041f360f.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-92d640a8041f360f.rlib: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-92d640a8041f360f.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

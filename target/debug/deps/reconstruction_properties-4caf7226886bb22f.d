@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconstruction_properties-4caf7226886bb22f.d: tests/reconstruction_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconstruction_properties-4caf7226886bb22f.rmeta: tests/reconstruction_properties.rs Cargo.toml
+
+tests/reconstruction_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconstruction_properties-9c8b92ddf8a7a6cf.d: tests/reconstruction_properties.rs
+
+/root/repo/target/debug/deps/libreconstruction_properties-9c8b92ddf8a7a6cf.rmeta: tests/reconstruction_properties.rs
+
+tests/reconstruction_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconstruction_properties-f59ce11f336bd0e6.d: tests/reconstruction_properties.rs
+
+/root/repo/target/debug/deps/reconstruction_properties-f59ce11f336bd0e6: tests/reconstruction_properties.rs
+
+tests/reconstruction_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a31df972d98a875e.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a31df972d98a875e.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

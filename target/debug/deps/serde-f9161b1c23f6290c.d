@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f9161b1c23f6290c.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f9161b1c23f6290c.rlib: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f9161b1c23f6290c.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

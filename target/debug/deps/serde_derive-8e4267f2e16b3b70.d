@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8e4267f2e16b3b70.d: /root/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-8e4267f2e16b3b70.so: /root/depstubs/serde_derive/src/lib.rs
+
+/root/depstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-df04a913014567f9.d: /root/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-df04a913014567f9.rlib: /root/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-df04a913014567f9.rmeta: /root/depstubs/serde_json/src/lib.rs
+
+/root/depstubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-e9e9d780af9ed834.d: /root/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e9e9d780af9ed834.rmeta: /root/depstubs/serde_json/src/lib.rs
+
+/root/depstubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_step-a28b295d9441f974.d: crates/bench/benches/sim_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_step-a28b295d9441f974.rmeta: crates/bench/benches/sim_step.rs Cargo.toml
+
+crates/bench/benches/sim_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

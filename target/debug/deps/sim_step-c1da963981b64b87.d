@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_step-c1da963981b64b87.d: crates/bench/benches/sim_step.rs
+
+/root/repo/target/debug/deps/libsim_step-c1da963981b64b87.rmeta: crates/bench/benches/sim_step.rs
+
+crates/bench/benches/sim_step.rs:

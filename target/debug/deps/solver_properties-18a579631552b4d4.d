@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_properties-18a579631552b4d4.d: crates/linalg/tests/solver_properties.rs
+
+/root/repo/target/debug/deps/libsolver_properties-18a579631552b4d4.rmeta: crates/linalg/tests/solver_properties.rs
+
+crates/linalg/tests/solver_properties.rs:

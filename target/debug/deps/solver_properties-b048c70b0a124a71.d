@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_properties-b048c70b0a124a71.d: crates/linalg/tests/solver_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_properties-b048c70b0a124a71.rmeta: crates/linalg/tests/solver_properties.rs Cargo.toml
+
+crates/linalg/tests/solver_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_properties-f2b1f35da2bdc1f9.d: crates/linalg/tests/solver_properties.rs
+
+/root/repo/target/debug/deps/solver_properties-f2b1f35da2bdc1f9: crates/linalg/tests/solver_properties.rs
+
+crates/linalg/tests/solver_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/survivability-78a8d06086202f66.d: tests/survivability.rs
+
+/root/repo/target/debug/deps/survivability-78a8d06086202f66: tests/survivability.rs
+
+tests/survivability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/survivability-87912c7628635f92.d: tests/survivability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurvivability-87912c7628635f92.rmeta: tests/survivability.rs Cargo.toml
+
+tests/survivability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

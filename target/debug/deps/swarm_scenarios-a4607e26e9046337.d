@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarm_scenarios-a4607e26e9046337.d: crates/sim/tests/swarm_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm_scenarios-a4607e26e9046337.rmeta: crates/sim/tests/swarm_scenarios.rs Cargo.toml
+
+crates/sim/tests/swarm_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swarm_scenarios-bb5699bbd985438a.d: crates/sim/tests/swarm_scenarios.rs
+
+/root/repo/target/debug/deps/swarm_scenarios-bb5699bbd985438a: crates/sim/tests/swarm_scenarios.rs
+
+crates/sim/tests/swarm_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swarm_scenarios-f1c4b9819ba577f6.d: crates/sim/tests/swarm_scenarios.rs
+
+/root/repo/target/debug/deps/libswarm_scenarios-f1c4b9819ba577f6.rmeta: crates/sim/tests/swarm_scenarios.rs
+
+crates/sim/tests/swarm_scenarios.rs:

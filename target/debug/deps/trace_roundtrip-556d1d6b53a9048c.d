@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-556d1d6b53a9048c.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-556d1d6b53a9048c: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

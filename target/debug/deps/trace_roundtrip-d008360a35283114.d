@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-d008360a35283114.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/libtrace_roundtrip-d008360a35283114.rmeta: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

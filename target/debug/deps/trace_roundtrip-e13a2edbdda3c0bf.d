@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_roundtrip-e13a2edbdda3c0bf.d: tests/trace_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_roundtrip-e13a2edbdda3c0bf.rmeta: tests/trace_roundtrip.rs Cargo.toml
+
+tests/trace_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

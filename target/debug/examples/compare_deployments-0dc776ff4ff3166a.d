@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_deployments-0dc776ff4ff3166a.d: examples/compare_deployments.rs
+
+/root/repo/target/debug/examples/libcompare_deployments-0dc776ff4ff3166a.rmeta: examples/compare_deployments.rs
+
+examples/compare_deployments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_deployments-2e8e3ded7a04cbaa.d: examples/compare_deployments.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_deployments-2e8e3ded7a04cbaa.rmeta: examples/compare_deployments.rs Cargo.toml
+
+examples/compare_deployments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_deployments-d59c3b6fb6bb09f9.d: examples/compare_deployments.rs
+
+/root/repo/target/debug/examples/compare_deployments-d59c3b6fb6bb09f9: examples/compare_deployments.rs
+
+examples/compare_deployments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forest_monitoring-08a488239c7ff752.d: examples/forest_monitoring.rs
+
+/root/repo/target/debug/examples/libforest_monitoring-08a488239c7ff752.rmeta: examples/forest_monitoring.rs
+
+examples/forest_monitoring.rs:

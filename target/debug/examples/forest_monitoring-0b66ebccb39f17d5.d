@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/forest_monitoring-0b66ebccb39f17d5.d: examples/forest_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libforest_monitoring-0b66ebccb39f17d5.rmeta: examples/forest_monitoring.rs Cargo.toml
+
+examples/forest_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

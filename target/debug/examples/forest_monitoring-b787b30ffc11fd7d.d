@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forest_monitoring-b787b30ffc11fd7d.d: examples/forest_monitoring.rs
+
+/root/repo/target/debug/examples/forest_monitoring-b787b30ffc11fd7d: examples/forest_monitoring.rs
+
+examples/forest_monitoring.rs:

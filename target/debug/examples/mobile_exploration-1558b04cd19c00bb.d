@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobile_exploration-1558b04cd19c00bb.d: examples/mobile_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobile_exploration-1558b04cd19c00bb.rmeta: examples/mobile_exploration.rs Cargo.toml
+
+examples/mobile_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_exploration-3d9ac2c4143be1de.d: examples/mobile_exploration.rs
+
+/root/repo/target/debug/examples/mobile_exploration-3d9ac2c4143be1de: examples/mobile_exploration.rs
+
+examples/mobile_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_exploration-557c98c505c130f4.d: examples/mobile_exploration.rs
+
+/root/repo/target/debug/examples/libmobile_exploration-557c98c505c130f4.rmeta: examples/mobile_exploration.rs
+
+examples/mobile_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aa7f26f8f7ef6258.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aa7f26f8f7ef6258: examples/quickstart.rs
+
+examples/quickstart.rs:

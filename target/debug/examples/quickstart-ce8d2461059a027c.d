@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce8d2461059a027c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-ce8d2461059a027c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f1ea1ff820998d1d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f1ea1ff820998d1d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_beta-59a59f8e52982be3.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/release/deps/ablation_beta-59a59f8e52982be3: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

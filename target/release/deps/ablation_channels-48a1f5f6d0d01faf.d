@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_channels-48a1f5f6d0d01faf.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/release/deps/ablation_channels-48a1f5f6d0d01faf: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

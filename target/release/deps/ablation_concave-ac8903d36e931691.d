@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_concave-ac8903d36e931691.d: crates/bench/src/bin/ablation_concave.rs
+
+/root/repo/target/release/deps/ablation_concave-ac8903d36e931691: crates/bench/src/bin/ablation_concave.rs
+
+crates/bench/src/bin/ablation_concave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_faults-7953099519beae1b.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/release/deps/ablation_faults-7953099519beae1b: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

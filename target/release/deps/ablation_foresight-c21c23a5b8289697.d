@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_foresight-c21c23a5b8289697.d: crates/bench/src/bin/ablation_foresight.rs
+
+/root/repo/target/release/deps/ablation_foresight-c21c23a5b8289697: crates/bench/src/bin/ablation_foresight.rs
+
+crates/bench/src/bin/ablation_foresight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rc-2cec2290e3165b68.d: crates/bench/src/bin/ablation_rc.rs
+
+/root/repo/target/release/deps/ablation_rc-2cec2290e3165b68: crates/bench/src/bin/ablation_rc.rs
+
+crates/bench/src/bin/ablation_rc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_trace_sampling-1040dab8100f0cc0.d: crates/bench/src/bin/ablation_trace_sampling.rs
+
+/root/repo/target/release/deps/ablation_trace_sampling-1040dab8100f0cc0: crates/bench/src/bin/ablation_trace_sampling.rs
+
+crates/bench/src/bin/ablation_trace_sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_delta_json-eb4c8bfa4614e192.d: crates/bench/src/bin/bench_delta_json.rs
+
+/root/repo/target/release/deps/bench_delta_json-eb4c8bfa4614e192: crates/bench/src/bin/bench_delta_json.rs
+
+crates/bench/src/bin/bench_delta_json.rs:

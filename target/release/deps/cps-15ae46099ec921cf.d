@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cps-15ae46099ec921cf.d: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/release/deps/libcps-15ae46099ec921cf.rlib: src/lib.rs src/error.rs src/prelude.rs
+
+/root/repo/target/release/deps/libcps-15ae46099ec921cf.rmeta: src/lib.rs src/error.rs src/prelude.rs
+
+src/lib.rs:
+src/error.rs:
+src/prelude.rs:

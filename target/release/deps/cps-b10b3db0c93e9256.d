@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cps-b10b3db0c93e9256.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cps-b10b3db0c93e9256: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cps_bench-6e0a31536966868e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcps_bench-6e0a31536966868e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcps_bench-6e0a31536966868e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cps_geometry-9f2eca6974519b1b.d: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs
+
+/root/repo/target/release/deps/libcps_geometry-9f2eca6974519b1b.rlib: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs
+
+/root/repo/target/release/deps/libcps_geometry-9f2eca6974519b1b.rmeta: crates/geometry/src/lib.rs crates/geometry/src/delaunay.rs crates/geometry/src/error.rs crates/geometry/src/hull.rs crates/geometry/src/index.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/predicates.rs crates/geometry/src/region.rs crates/geometry/src/triangle.rs crates/geometry/src/voronoi.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/delaunay.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/region.rs:
+crates/geometry/src/triangle.rs:
+crates/geometry/src/voronoi.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cps_greenorbs-803c3285235e54da.d: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+/root/repo/target/release/deps/libcps_greenorbs-803c3285235e54da.rlib: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+/root/repo/target/release/deps/libcps_greenorbs-803c3285235e54da.rmeta: crates/greenorbs/src/lib.rs crates/greenorbs/src/csv.rs crates/greenorbs/src/dataset.rs crates/greenorbs/src/error.rs crates/greenorbs/src/generator.rs crates/greenorbs/src/records.rs crates/greenorbs/src/stats.rs
+
+crates/greenorbs/src/lib.rs:
+crates/greenorbs/src/csv.rs:
+crates/greenorbs/src/dataset.rs:
+crates/greenorbs/src/error.rs:
+crates/greenorbs/src/generator.rs:
+crates/greenorbs/src/records.rs:
+crates/greenorbs/src/stats.rs:

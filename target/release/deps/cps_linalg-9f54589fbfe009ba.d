@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cps_linalg-9f54589fbfe009ba.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libcps_linalg-9f54589fbfe009ba.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libcps_linalg-9f54589fbfe009ba.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lstsq.rs crates/linalg/src/mat2.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lstsq.rs:
+crates/linalg/src/mat2.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cps_network-2650cc507d4555a2.d: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+/root/repo/target/release/deps/libcps_network-2650cc507d4555a2.rlib: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+/root/repo/target/release/deps/libcps_network-2650cc507d4555a2.rmeta: crates/network/src/lib.rs crates/network/src/articulation.rs crates/network/src/components.rs crates/network/src/connect.rs crates/network/src/error.rs crates/network/src/graph.rs crates/network/src/mst.rs crates/network/src/paths.rs
+
+crates/network/src/lib.rs:
+crates/network/src/articulation.rs:
+crates/network/src/components.rs:
+crates/network/src/connect.rs:
+crates/network/src/error.rs:
+crates/network/src/graph.rs:
+crates/network/src/mst.rs:
+crates/network/src/paths.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cps_sim-467e003801085a55.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs
+
+/root/repo/target/release/deps/libcps_sim-467e003801085a55.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs
+
+/root/repo/target/release/deps/libcps_sim-467e003801085a55.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/exploration.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/sampling.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exploration.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sampling.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:

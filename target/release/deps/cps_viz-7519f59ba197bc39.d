@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cps_viz-7519f59ba197bc39.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+/root/repo/target/release/deps/libcps_viz-7519f59ba197bc39.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+/root/repo/target/release/deps/libcps_viz-7519f59ba197bc39.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/csv.rs crates/viz/src/pgm.rs crates/viz/src/svg.rs crates/viz/src/topology.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/pgm.rs:
+crates/viz/src/svg.rs:
+crates/viz/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_reference_surface-67787d861cb6db17.d: crates/bench/src/bin/fig1_reference_surface.rs
+
+/root/repo/target/release/deps/fig1_reference_surface-67787d861cb6db17: crates/bench/src/bin/fig1_reference_surface.rs
+
+crates/bench/src/bin/fig1_reference_surface.rs:

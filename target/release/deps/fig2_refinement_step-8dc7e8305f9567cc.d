@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_refinement_step-8dc7e8305f9567cc.d: crates/bench/src/bin/fig2_refinement_step.rs
+
+/root/repo/target/release/deps/fig2_refinement_step-8dc7e8305f9567cc: crates/bench/src/bin/fig2_refinement_step.rs
+
+crates/bench/src/bin/fig2_refinement_step.rs:

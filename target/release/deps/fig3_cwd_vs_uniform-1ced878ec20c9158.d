@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_cwd_vs_uniform-1ced878ec20c9158.d: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+/root/repo/target/release/deps/fig3_cwd_vs_uniform-1ced878ec20c9158: crates/bench/src/bin/fig3_cwd_vs_uniform.rs
+
+crates/bench/src/bin/fig3_cwd_vs_uniform.rs:

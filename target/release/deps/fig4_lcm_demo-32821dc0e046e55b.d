@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_lcm_demo-32821dc0e046e55b.d: crates/bench/src/bin/fig4_lcm_demo.rs
+
+/root/repo/target/release/deps/fig4_lcm_demo-32821dc0e046e55b: crates/bench/src/bin/fig4_lcm_demo.rs
+
+crates/bench/src/bin/fig4_lcm_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_6_fra_surfaces-caa32f1489ec971a.d: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+/root/repo/target/release/deps/fig5_6_fra_surfaces-caa32f1489ec971a: crates/bench/src/bin/fig5_6_fra_surfaces.rs
+
+crates/bench/src/bin/fig5_6_fra_surfaces.rs:

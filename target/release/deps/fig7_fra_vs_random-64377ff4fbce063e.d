@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_fra_vs_random-64377ff4fbce063e.d: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+/root/repo/target/release/deps/fig7_fra_vs_random-64377ff4fbce063e: crates/bench/src/bin/fig7_fra_vs_random.rs
+
+crates/bench/src/bin/fig7_fra_vs_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_10_cma_timeline-14c85a488525e8a7.d: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+/root/repo/target/release/deps/fig8_10_cma_timeline-14c85a488525e8a7: crates/bench/src/bin/fig8_10_cma_timeline.rs
+
+crates/bench/src/bin/fig8_10_cma_timeline.rs:

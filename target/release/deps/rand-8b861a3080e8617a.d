@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8b861a3080e8617a.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b861a3080e8617a.rlib: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b861a3080e8617a.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-48f844a3abd294a3.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-48f844a3abd294a3.rlib: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-48f844a3abd294a3.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

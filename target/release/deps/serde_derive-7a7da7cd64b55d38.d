@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-7a7da7cd64b55d38.d: /root/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-7a7da7cd64b55d38.so: /root/depstubs/serde_derive/src/lib.rs
+
+/root/depstubs/serde_derive/src/lib.rs:

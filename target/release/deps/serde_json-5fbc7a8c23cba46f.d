@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5fbc7a8c23cba46f.d: /root/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5fbc7a8c23cba46f.rlib: /root/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5fbc7a8c23cba46f.rmeta: /root/depstubs/serde_json/src/lib.rs
+
+/root/depstubs/serde_json/src/lib.rs:
