@@ -8,12 +8,15 @@
 //! Results are checked bit-identical across thread counts before any
 //! timing is reported.
 //!
+//! Besides the current timings the file carries a `trajectory` array:
+//! one point per recorded run, appended on every invocation, so the
+//! performance history of the repository stays reviewable in-tree.
+//!
 //! Run with: `cargo run --release -p cps-bench --bin bench_delta_json`
 //! (writes `BENCH_delta.json` in the current directory; pass a path to
-//! override).
+//! override and an optional label for the trajectory point).
 
 use std::env;
-use std::fmt::Write as _;
 use std::fs;
 use std::time::Instant;
 
@@ -22,23 +25,64 @@ use cps_field::{delta, Field, Parallelism, PeaksField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 const NODES: usize = 150;
 const RESOLUTION: usize = 201;
 const WARMUP: usize = 3;
 const REPS: usize = 15;
 
-struct Timing {
-    label: &'static str,
+#[derive(Serialize, Deserialize)]
+struct ResultEntry {
+    mode: String,
     threads: usize,
-    min_ns: u128,
-    median_ns: u128,
+    min_ns: u64,
+    median_ns: u64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TrajectoryPoint {
+    label: String,
+    delta: f64,
+    serial_median_ns: u64,
+    auto_median_ns: u64,
+    available_cores: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchDoc {
+    benchmark: String,
+    workload: String,
+    grid: Vec<usize>,
+    available_cores: usize,
+    warmup: usize,
+    repetitions: usize,
+    delta: f64,
+    bit_identical_across_policies: bool,
+    results: Vec<ResultEntry>,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+/// Salvages the trajectory from a previous `BENCH_delta.json`, if one
+/// exists (older files without the array contribute nothing).
+fn previous_trajectory(path: &str) -> Vec<TrajectoryPoint> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return Vec::new();
+    };
+    doc.get("trajectory")
+        .and_then(|v| Vec::<TrajectoryPoint>::deserialize(v).ok())
+        .unwrap_or_default()
 }
 
 fn main() {
     let out_path = env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_delta.json".into());
+    let label = env::args().nth(2).unwrap_or_else(|| "local".into());
 
     let region = Rect::square(100.0).expect("square region");
     let grid = GridSpec::new(region, RESOLUTION, RESOLUTION).expect("grid");
@@ -67,64 +111,72 @@ fn main() {
         );
     }
 
-    let timings: Vec<Timing> = policies
+    let timings: Vec<(&'static str, usize, u64, u64)> = policies
         .iter()
         .map(|&(label, par)| {
             for _ in 0..WARMUP {
                 delta::volume_difference_with(&reference, &rebuilt, &grid, par);
             }
-            let mut runs: Vec<u128> = (0..REPS)
+            let mut runs: Vec<u64> = (0..REPS)
                 .map(|_| {
                     let start = Instant::now();
                     delta::volume_difference_with(&reference, &rebuilt, &grid, par);
-                    start.elapsed().as_nanos()
+                    start.elapsed().as_nanos() as u64
                 })
                 .collect();
             runs.sort_unstable();
-            Timing {
-                label,
-                threads: par.threads(),
-                min_ns: runs[0],
-                median_ns: runs[REPS / 2],
-            }
+            (label, par.threads(), runs[0], runs[REPS / 2])
         })
         .collect();
 
-    let serial_median = timings[0].median_ns;
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"volume_difference (Eqn. 2)\",");
-    let _ = writeln!(
-        json,
-        "  \"workload\": \"PeaksField vs ReconstructedSurface({NODES} nodes)\","
-    );
-    let _ = writeln!(json, "  \"grid\": [{RESOLUTION}, {RESOLUTION}],");
+    let serial_median = timings[0].3;
+    let auto_median = timings[3].3;
+    let results: Vec<ResultEntry> = timings
+        .iter()
+        .map(|&(mode, threads, min_ns, median_ns)| ResultEntry {
+            mode: mode.to_string(),
+            threads,
+            min_ns,
+            median_ns,
+            speedup_vs_serial: serial_median as f64 / median_ns as f64,
+        })
+        .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let _ = writeln!(json, "  \"available_cores\": {cores},");
-    let _ = writeln!(json, "  \"warmup\": {WARMUP},");
-    let _ = writeln!(json, "  \"repetitions\": {REPS},");
-    let _ = writeln!(json, "  \"delta\": {expected},");
-    let _ = writeln!(json, "  \"bit_identical_across_policies\": true,");
-    json.push_str("  \"results\": [\n");
-    for (i, t) in timings.iter().enumerate() {
-        let speedup = serial_median as f64 / t.median_ns as f64;
-        let _ = write!(
-            json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"min_ns\": {}, \"median_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
-            t.label, t.threads, t.min_ns, t.median_ns, speedup
-        );
-        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
 
-    fs::write(&out_path, &json).expect("write BENCH_delta.json");
-    println!("wrote {out_path}");
-    for t in &timings {
+    let mut trajectory = previous_trajectory(&out_path);
+    trajectory.push(TrajectoryPoint {
+        label,
+        delta: expected,
+        serial_median_ns: serial_median,
+        auto_median_ns: auto_median,
+        available_cores: cores,
+    });
+
+    let doc = BenchDoc {
+        benchmark: "volume_difference (Eqn. 2)".to_string(),
+        workload: format!("PeaksField vs ReconstructedSurface({NODES} nodes)"),
+        grid: vec![RESOLUTION, RESOLUTION],
+        available_cores: cores,
+        warmup: WARMUP,
+        repetitions: REPS,
+        delta: expected,
+        bit_identical_across_policies: true,
+        results,
+        trajectory,
+    };
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialize BENCH_delta.json");
+    fs::write(&out_path, json).expect("write BENCH_delta.json");
+    println!(
+        "wrote {out_path} ({} trajectory points)",
+        doc.trajectory.len()
+    );
+    for t in &doc.results {
         println!(
             "  {:>10}: median {:>8.2} ms (x{:.2} vs serial)",
-            t.label,
+            t.mode,
             t.median_ns as f64 / 1e6,
-            serial_median as f64 / t.median_ns as f64
+            t.speedup_vs_serial
         );
     }
 }

@@ -24,9 +24,10 @@ commands:
   surface   --trace trace.json [--hour 10] [--resolution 101] [--out surface.pgm]
             extract and render the referential light surface
   plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv] [--threads N]
+            [--metrics metrics.json]
             plan a stationary deployment with FRA and report its quality
   simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
-            [--faults spec] [--report out.json]
+            [--faults spec] [--report out.json] [--metrics metrics.json]
             run the CMA mobile swarm on the latent light field; --faults
             injects a deterministic fault schedule (comma-separated
             key=value: seed=N, kill=NODE@SLOT, cull=FRAC@SLOT, death=P,
@@ -39,6 +40,12 @@ commands:
 
 --threads selects the worker count for grid sweeps (0 = all cores, the
 default); results are identical at any setting.
+
+--metrics turns on the instrumentation layer (algorithm counters and
+per-phase wall-clock timers, off by default) and writes the structured
+RunMetrics JSON after the run; `simulate` embeds the survivability
+report into it. Instrumentation never changes results, only records
+them.
 
 the region of interest is the paper's 100x100 m window at (20,20)-(120,120).";
 
@@ -114,9 +121,14 @@ pub fn plan(args: &Args) -> CmdResult {
     let rc = args.f64_or("rc", 10.0)?;
     let hour = args.u32_or("hour", 10)?;
     let out = args.string_or("out", "");
+    let metrics_path = args.string_or("metrics", "");
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
+    if !metrics_path.is_empty() {
+        cps_obs::reset();
+        cps_obs::enable();
+    }
     let dataset = load_trace(&trace)?;
     let reference = dataset.region_field(region(), Channel::Light, hour, 101)?;
     let grid = GridSpec::new(region(), 101, 101)?;
@@ -141,6 +153,12 @@ pub fn plan(args: &Args) -> CmdResult {
         fs::write(&out, csv)?;
         println!("wrote {out}");
     }
+    if !metrics_path.is_empty() {
+        let metrics = cps_obs::snapshot();
+        cps_obs::disable();
+        fs::write(&metrics_path, metrics.to_json()?)?;
+        println!("wrote {metrics_path} (run metrics)");
+    }
     Ok(())
 }
 
@@ -152,9 +170,14 @@ pub fn simulate(args: &Args) -> CmdResult {
     let svg_path = args.string_or("svg", "");
     let faults_spec = args.string_or("faults", "");
     let report_path = args.string_or("report", "");
+    let metrics_path = args.string_or("metrics", "");
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     args.finish()?;
 
+    if !metrics_path.is_empty() {
+        cps_obs::reset();
+        cps_obs::enable();
+    }
     let config = ForestConfig {
         seed,
         ..ForestConfig::default()
@@ -200,7 +223,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         };
         survivability.observe_slot(sim.time(), sim.alive_count(), r.components, sampled);
     }
-    if !faults_spec.is_empty() {
+    let survivability_report = if !faults_spec.is_empty() {
         let survivors = UnitDiskGraph::new(sim.positions(), sim.config().cps.comm_radius())?;
         survivability.set_critical_nodes(survivors.critical_nodes());
         let report = survivability.finish();
@@ -238,13 +261,20 @@ pub fn simulate(args: &Args) -> CmdResult {
                 }
             }
         }
-        if !report_path.is_empty() {
-            fs::write(&report_path, report.to_json())?;
-            println!("wrote {report_path} (survivability report)");
-        }
-    } else if !report_path.is_empty() {
-        fs::write(&report_path, survivability.finish().to_json())?;
+        report
+    } else {
+        survivability.finish()
+    };
+    if !report_path.is_empty() {
+        fs::write(&report_path, survivability_report.to_json())?;
         println!("wrote {report_path} (survivability report)");
+    }
+    if !metrics_path.is_empty() {
+        let mut metrics = cps_obs::snapshot();
+        cps_obs::disable();
+        metrics.merge_survivability(serde_json::from_str(&survivability_report.to_json())?);
+        fs::write(&metrics_path, metrics.to_json()?)?;
+        println!("wrote {metrics_path} (run metrics)");
     }
     println!("final formation:");
     println!("{}", ascii_scatter(&sim.positions(), region(), 60, 24));

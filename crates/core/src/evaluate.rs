@@ -112,6 +112,7 @@ pub fn evaluate_survivors<F: Field>(
 ) -> Result<DeploymentEvaluation, CoreError> {
     match evaluate_deployment(reference, positions, comm_radius, grid) {
         Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
+            cps_obs::count(cps_obs::Counter::SurvivorFallbacks);
             let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
             let surface = constant_fallback(reference, positions);
             Ok(DeploymentEvaluation {
@@ -140,6 +141,7 @@ pub fn evaluate_survivors_with<F: Field + Sync>(
 ) -> Result<DeploymentEvaluation, CoreError> {
     match evaluate_deployment_with(reference, positions, comm_radius, grid, par) {
         Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
+            cps_obs::count(cps_obs::Counter::SurvivorFallbacks);
             let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
             let surface = constant_fallback(reference, positions);
             Ok(DeploymentEvaluation {

@@ -29,6 +29,27 @@ use cps_network::{RelayPlan, UnitDiskGraph};
 use super::local_error::LocalErrorGrid;
 use crate::CoreError;
 
+/// Pushes every relay position that does not collide with an
+/// already-chosen position (within the dedup tolerance), stopping once
+/// the budget `k` is met. Bumps `relays` per placement and returns how
+/// many were placed, so callers can tell whether foresight must be
+/// re-run for the still-unspent budget.
+fn spend_relays(
+    chosen: &mut Vec<Point2>,
+    relay_positions: &[Point2],
+    k: usize,
+    relays: &mut usize,
+) -> usize {
+    let before = chosen.len();
+    for &r in relay_positions {
+        if chosen.len() < k && chosen.iter().all(|c| c.distance(r) > 1e-9) {
+            chosen.push(r);
+            *relays += 1;
+        }
+    }
+    chosen.len() - before
+}
+
 /// Output of a FRA run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FraResult {
@@ -131,6 +152,7 @@ impl FraBuilder {
         let mut chosen: Vec<Point2> = Vec::with_capacity(self.k);
         let mut refined = 0usize;
         let mut relays = 0usize;
+        let obs_threads = self.parallelism.threads();
 
         loop {
             let remaining = self.k - chosen.len();
@@ -140,11 +162,14 @@ impl FraBuilder {
 
             // Foresight (lines 5–8): how many relays would connecting
             // the current deployment cost?
-            let plan = if chosen.len() >= 2 {
-                let graph = UnitDiskGraph::new(chosen.clone(), self.comm_radius)?;
-                RelayPlan::for_graph(&graph)
-            } else {
-                RelayPlan::default()
+            let plan = {
+                let _t = cps_obs::time(cps_obs::Phase::FraForesight, obs_threads);
+                if chosen.len() >= 2 {
+                    let graph = UnitDiskGraph::new(chosen.clone(), self.comm_radius)?;
+                    RelayPlan::for_graph(&graph)
+                } else {
+                    RelayPlan::default()
+                }
             };
             debug_assert!(
                 plan.relay_count() <= remaining,
@@ -155,64 +180,69 @@ impl FraBuilder {
             if plan.relay_count() == remaining && remaining > 0 {
                 // Spend the rest of the budget on the relay positions
                 // P(G, k−i).
-                for &r in plan.relays() {
-                    if chosen.iter().all(|c| c.distance(r) > 1e-9) {
-                        chosen.push(r);
-                        relays += 1;
-                    }
+                let placed = spend_relays(&mut chosen, plan.relays(), self.k, &mut relays);
+                if chosen.len() == self.k {
+                    break;
                 }
-                // Defensive: if deduplication dropped relays, fill with
-                // best remaining error positions so the budget is met.
-                while chosen.len() < self.k {
-                    let Some((p, _)) = errors.argmax(&[]) else {
-                        // Every grid position is spent: the budget
-                        // exceeds what the grid can host.
-                        return Err(CoreError::InvalidParameter {
-                            name: "k",
-                            requirement: "must not exceed the number of grid positions",
-                        });
-                    };
-                    errors.mark_used(p);
-                    if chosen.iter().all(|c| c.distance(p) > 1e-9) {
-                        chosen.push(p);
-                        refined += 1;
-                    }
+                // Deduplication dropped relays, so part of the budget is
+                // still unspent. Re-enter the loop: foresight runs again
+                // against the grown deployment, so the remaining picks
+                // keep the connectivity invariant. (The old code filled
+                // the gap straight from the error grid without another
+                // foresight pass, which could strand those fill
+                // positions with no relay budget left to reach them.)
+                if placed == 0 {
+                    // Every relay position collided with a chosen node:
+                    // re-running foresight would reproduce the same
+                    // degenerate plan forever.
+                    return Err(CoreError::InvalidParameter {
+                        name: "relay_plan",
+                        requirement: "foresight must yield at least one relay position \
+                                      distinct from the chosen nodes",
+                    });
                 }
-                break;
+                cps_obs::count(cps_obs::Counter::RelayReplans);
+                continue;
             }
 
             // Refinement (line 9): the max-local-error position that
             // keeps the foresight invariant satisfiable.
             let budget_after = remaining - 1;
             let mut rejected: Vec<usize> = Vec::new();
-            let picked = loop {
-                let Some((candidate, _err)) = errors.argmax(&rejected) else {
-                    break None;
-                };
-                if chosen.iter().any(|c| c.distance(candidate) <= 1e-9) {
-                    errors.mark_used(candidate);
+            let picked = {
+                let _t = cps_obs::time(cps_obs::Phase::FraRefine, obs_threads);
+                loop {
+                    let Some((candidate, _err)) = errors.argmax(&rejected) else {
+                        break None;
+                    };
+                    if chosen.iter().any(|c| c.distance(candidate) <= 1e-9) {
+                        errors.mark_used(candidate);
+                        rejected.push(errors.flat_index_of(candidate));
+                        cps_obs::count(cps_obs::Counter::ArgmaxRejections);
+                        continue;
+                    }
+                    // Would accepting this candidate still leave enough
+                    // budget to connect everything?
+                    let mut with_candidate = chosen.clone();
+                    with_candidate.push(candidate);
+                    let need = if with_candidate.len() >= 2 {
+                        let g = UnitDiskGraph::new(with_candidate, self.comm_radius)?;
+                        RelayPlan::for_graph(&g).relay_count()
+                    } else {
+                        0
+                    };
+                    if need <= budget_after {
+                        break Some(candidate);
+                    }
                     rejected.push(errors.flat_index_of(candidate));
-                    continue;
+                    cps_obs::count(cps_obs::Counter::ArgmaxRejections);
                 }
-                // Would accepting this candidate still leave enough
-                // budget to connect everything?
-                let mut with_candidate = chosen.clone();
-                with_candidate.push(candidate);
-                let need = if with_candidate.len() >= 2 {
-                    let g = UnitDiskGraph::new(with_candidate, self.comm_radius)?;
-                    RelayPlan::for_graph(&g).relay_count()
-                } else {
-                    0
-                };
-                if need <= budget_after {
-                    break Some(candidate);
-                }
-                rejected.push(errors.flat_index_of(candidate));
             };
 
             match picked {
                 Some(p) => {
                     // Lines 9–11: select, retriangulate, update errors.
+                    let _t = cps_obs::time(cps_obs::Phase::FraRetriangulate, obs_threads);
                     errors.mark_used(p);
                     chosen.push(p);
                     refined += 1;
@@ -230,6 +260,7 @@ impl FraBuilder {
                     dt.insert(p)?;
                     zs.push(reference.value(p));
                     if hull_grows {
+                        cps_obs::count(cps_obs::Counter::FullGridRecomputes);
                         errors.recompute_region_with(
                             rect.min(),
                             rect.max(),
@@ -239,6 +270,7 @@ impl FraBuilder {
                             self.parallelism,
                         );
                     } else if let Some((lo, hi)) = dt.last_insert_bbox() {
+                        cps_obs::count(cps_obs::Counter::CavityRecomputes);
                         errors.recompute_region_with(
                             Point2::new(lo.x - margin, lo.y - margin),
                             Point2::new(hi.x + margin, hi.y + margin),
@@ -253,12 +285,7 @@ impl FraBuilder {
                     // No candidate fits the budget: connect what exists
                     // now (need < remaining is guaranteed), then keep
                     // refining with the connected network.
-                    for &r in plan.relays() {
-                        if chosen.len() < self.k && chosen.iter().all(|c| c.distance(r) > 1e-9) {
-                            chosen.push(r);
-                            relays += 1;
-                        }
-                    }
+                    let placed = spend_relays(&mut chosen, plan.relays(), self.k, &mut relays);
                     if plan.relay_count() == 0 {
                         // Nothing to connect and nothing selectable:
                         // the grid is exhausted (k larger than the
@@ -268,6 +295,17 @@ impl FraBuilder {
                             minimum: chosen.len(),
                         });
                     }
+                    if placed == 0 {
+                        // Relays exist but all collide with chosen
+                        // nodes: iterating again would recompute the
+                        // identical plan forever.
+                        return Err(CoreError::InvalidParameter {
+                            name: "relay_plan",
+                            requirement: "foresight must yield at least one relay position \
+                                          distinct from the chosen nodes",
+                        });
+                    }
+                    cps_obs::count(cps_obs::Counter::RelayReplans);
                 }
             }
         }
@@ -352,6 +390,48 @@ mod tests {
                 .run(&f)
                 .unwrap();
             assert_eq!(serial, other, "with {par:?}");
+        }
+    }
+
+    #[test]
+    fn spend_relays_skips_positions_colliding_with_chosen() {
+        // Regression for the defensive-fill path: a relay that lands on
+        // an already-chosen node (within the dedup tolerance) must be
+        // skipped and reported as not placed, so the caller re-runs
+        // foresight instead of blindly topping up from the error grid.
+        let mut chosen = vec![Point2::new(10.0, 10.0), Point2::new(30.0, 10.0)];
+        let mut relays = 0usize;
+        let plan = [
+            Point2::new(10.0, 10.0 + 1e-12), // collides with chosen[0]
+            Point2::new(20.0, 10.0),
+            Point2::new(20.0, 10.0), // collides with the one just placed
+        ];
+        let placed = spend_relays(&mut chosen, &plan, 4, &mut relays);
+        assert_eq!(placed, 1);
+        assert_eq!(relays, 1);
+        assert_eq!(chosen.len(), 3);
+        assert_eq!(chosen[2], Point2::new(20.0, 10.0));
+
+        // Budget cap: with k already met nothing more is placed.
+        let placed = spend_relays(&mut chosen, &[Point2::new(50.0, 50.0)], 3, &mut relays);
+        assert_eq!(placed, 0);
+        assert_eq!(chosen.len(), 3);
+    }
+
+    #[test]
+    fn budget_met_and_connected_across_radii() {
+        // Broadened coverage for the relay-spend path: every radius in
+        // this sweep must end with exactly k nodes and a connected
+        // network, including tight radii where foresight fires often.
+        let f = peaks();
+        for rc in [6.0, 8.0, 12.0, 18.0, 40.0] {
+            for k in [3, 9, 21] {
+                let r = FraBuilder::new(k, rc).grid(grid()).run(&f).unwrap();
+                assert_eq!(r.positions.len(), k, "rc = {rc}, k = {k}");
+                assert_eq!(r.refined + r.relays, k, "rc = {rc}, k = {k}");
+                let g = UnitDiskGraph::new(r.positions.clone(), rc).unwrap();
+                assert!(g.is_connected(), "rc = {rc}, k = {k} disconnected");
+            }
         }
     }
 

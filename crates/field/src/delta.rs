@@ -71,6 +71,7 @@ where
     G: Field,
     C: Fn(f64, f64) -> f64,
 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, 1);
     let mut total = 0.0;
     for j in 0..grid.ny() {
         total += row_sum(f, g, grid, j, &combine);
@@ -87,6 +88,7 @@ where
     G: Field + Sync,
     C: Fn(f64, f64) -> f64 + Sync,
 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, par.threads());
     let rows = map_rows(grid.ny(), par, |j| row_sum(f, g, grid, j, &combine));
     let mut total = 0.0;
     for row in rows {
@@ -127,6 +129,7 @@ pub fn volume_difference_with<F: Field + Sync, G: Field + Sync>(
 /// Volume under a single surface, `∬ f dA` (Eqn. 4/5). For surfaces that
 /// dip below zero the integral is signed.
 pub fn volume<F: Field>(f: &F, grid: &GridSpec) -> f64 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, 1);
     let mut total = 0.0;
     for j in 0..grid.ny() {
         let mut row = 0.0;
@@ -141,6 +144,7 @@ pub fn volume<F: Field>(f: &F, grid: &GridSpec) -> f64 {
 /// Parallel [`volume`]; bit-identical to the serial function at any
 /// thread count.
 pub fn volume_with<F: Field + Sync>(f: &F, grid: &GridSpec, par: Parallelism) -> f64 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, par.threads());
     let rows = map_rows(grid.ny(), par, |j| {
         let mut row = 0.0;
         for i in 0..grid.nx() {
@@ -202,6 +206,7 @@ fn row_sum_squares<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec, j: usize) 
 /// Root-mean-square pointwise difference over the grid — a secondary
 /// error metric reported alongside δ in the experiment harnesses.
 pub fn rms_difference<F: Field, G: Field>(f: &F, g: &G, grid: &GridSpec) -> f64 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, 1);
     let mut ss = 0.0;
     for j in 0..grid.ny() {
         ss += row_sum_squares(f, g, grid, j);
@@ -217,6 +222,7 @@ pub fn rms_difference_with<F: Field + Sync, G: Field + Sync>(
     grid: &GridSpec,
     par: Parallelism,
 ) -> f64 {
+    let _timer = cps_obs::time(cps_obs::Phase::DeltaQuadrature, par.threads());
     let rows = map_rows(grid.ny(), par, |j| row_sum_squares(f, g, grid, j));
     let mut ss = 0.0;
     for row in rows {
@@ -273,6 +279,32 @@ mod tests {
         // ∬ x dA over [0,10]² = 500.
         let f = PlaneField::new(1.0, 0.0, 0.0);
         assert!((volume(&f, &grid()) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_minimal_grid_quadrature_is_exact() {
+        // The smallest legal grid is 2×2: every node is a corner, so
+        // every trapezoid weight is 0.25 and one cell covers the whole
+        // region. Constant and bilinear integrands are exact there.
+        let rect = Rect::square(10.0).unwrap();
+        let tiny = GridSpec::new(rect, 2, 2).unwrap();
+        let c = PlaneField::new(0.0, 0.0, 3.0);
+        assert!((volume(&c, &tiny) - 300.0).abs() < 1e-12);
+        // ∬ x dA over [0,10]² = 500: the trapezoid rule is exact for
+        // linear integrands even on a single cell.
+        let ramp = PlaneField::new(1.0, 0.0, 0.0);
+        assert!((volume(&ramp, &tiny) - 500.0).abs() < 1e-12);
+        // δ against itself stays exactly zero, and the parallel engine
+        // agrees bit-for-bit even when rows outnumber workers requests.
+        assert_eq!(volume_difference(&c, &c, &tiny), 0.0);
+        let serial = volume_difference(&c, &ramp, &tiny);
+        for par in [Parallelism::fixed(2), Parallelism::fixed(7)] {
+            let p = volume_difference_with(&c, &ramp, &tiny, par);
+            assert_eq!(serial.to_bits(), p.to_bits());
+        }
+        // Asymmetric degenerate strip: 2 columns, many rows.
+        let strip = GridSpec::new(rect, 2, 9).unwrap();
+        assert!((volume(&c, &strip) - 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -375,6 +375,7 @@ impl Triangulation {
 
         self.hint = self.tris.len() - 1;
         self.last_insert_bbox = Some((bbox_min, bbox_max));
+        cps_obs::count(cps_obs::Counter::DelaunayInserts);
         Ok(VertexId(new_vertex - SUPER_VERTS))
     }
 

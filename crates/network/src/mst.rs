@@ -44,6 +44,11 @@ pub fn prim_mst_weighted<W: Fn(usize, usize) -> f64>(n: usize, weight: W) -> Vec
     if n < 2 {
         return Vec::new();
     }
+    // Demote NaN (and +∞/−∞ alike) to +∞ on read: a NaN that leaks
+    // into `best_cost` would poison both the fringe selection (every
+    // comparison against it is unordered) and the relaxation below
+    // (`w < NaN` is false, so a finite weight could never displace it).
+    let sanitize = |w: f64| if w.is_finite() { w } else { f64::INFINITY };
     let mut in_tree = vec![false; n];
     let mut best_cost = vec![f64::INFINITY; n];
     let mut best_from = vec![0usize; n];
@@ -51,24 +56,21 @@ pub fn prim_mst_weighted<W: Fn(usize, usize) -> f64>(n: usize, weight: W) -> Vec
 
     in_tree[0] = true;
     for v in 1..n {
-        best_cost[v] = weight(0, v);
+        best_cost[v] = sanitize(weight(0, v));
         best_from[v] = 0;
     }
     for _ in 1..n {
-        // Cheapest fringe vertex.
+        // Cheapest fringe vertex (costs are NaN-free, so total_cmp
+        // agrees with the numeric order).
         let u = (0..n)
             .filter(|&v| !in_tree[v])
-            .min_by(|&a, &b| {
-                best_cost[a]
-                    .partial_cmp(&best_cost[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|&a, &b| best_cost[a].total_cmp(&best_cost[b]))
             .expect("some vertex remains outside the tree");
         in_tree[u] = true;
         edges.push((best_from[u], u));
         for v in 0..n {
             if !in_tree[v] {
-                let w = weight(u, v);
+                let w = sanitize(weight(u, v));
                 if w < best_cost[v] {
                     best_cost[v] = w;
                     best_from[v] = u;
@@ -153,6 +155,28 @@ mod tests {
             }
         }
         assert!((prim_total - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_weights_lose_to_any_finite_weight() {
+        // A NaN edge must behave exactly like "no edge": the tree built
+        // through finite weights is chosen, and the NaN never wins a
+        // fringe comparison nor wedges itself into best_cost.
+        // Path graph 0–1–2–3 with weight 1 edges; everything else NaN.
+        let edges = prim_mst_weighted(4, |i, j| if i.abs_diff(j) == 1 { 1.0 } else { f64::NAN });
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|&(a, b)| a.abs_diff(b) == 1), "{edges:?}");
+
+        // Mixed: NaN on the cheap-looking shortcut, finite detour wins.
+        let edges = prim_mst_weighted(3, |i, j| match (i.min(j), i.max(j)) {
+            (0, 1) => 5.0,
+            (1, 2) => 7.0,
+            _ => f64::NAN, // the 0–2 edge
+        });
+        let mut sorted: Vec<(usize, usize)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(0, 1), (1, 2)]);
     }
 
     #[test]

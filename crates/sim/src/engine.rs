@@ -393,6 +393,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
     pub fn step(&mut self) -> Result<StepReport, CoreError> {
         let rc = self.config.cps.comm_radius();
         let max_move = self.config.cps.max_speed() * self.config.time_step;
+        let obs_threads = self.config.parallelism.threads();
 
         // Phase 0 (fault plan only): slot-start deaths, drawn serially
         // from this slot's dedicated stream so results stay
@@ -445,6 +446,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             dropped = dr;
             attempt_messages = Some(attempts);
             if components >= 2 && rt.plan.recovery_active() {
+                cps_obs::count(cps_obs::Counter::RelayReplans);
                 recovery = recovery_overrides(&graph);
             }
         }
@@ -457,6 +459,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         let mut cfg = self.cma;
         cfg.curvature_scale = self.curvature_scale;
         let decisions = {
+            let _t = cps_obs::time(cps_obs::Phase::CmaCurvature, obs_threads);
             let this = &*self;
             let positions = &positions;
             let alive_ids = &alive_ids;
@@ -520,10 +523,13 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
 
         // Phase 2: speed clamp.
         let mut next: Vec<Point2> = positions.clone();
-        for i in 0..alive_ids.len() {
-            if let Some(dest) = desired[i] {
-                let step = (dest - positions[i]).clamp_norm(max_move);
-                next[i] = self.region.clamp(positions[i] + step);
+        {
+            let _t = cps_obs::time(cps_obs::Phase::CmaMove, 1);
+            for i in 0..alive_ids.len() {
+                if let Some(dest) = desired[i] {
+                    let step = (dest - positions[i]).clamp_norm(max_move);
+                    next[i] = self.region.clamp(positions[i] + step);
+                }
             }
         }
 
@@ -539,6 +545,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         // fixed point because repairs can invalidate other edges.
         let mut lcm_followers = 0usize;
         let mut adjusted = next.clone();
+        let _lcm_timer = cps_obs::time(cps_obs::Phase::CmaForce, 1);
         const LCM_ROUNDS: usize = 16;
         for _ in 0..LCM_ROUNDS {
             let mut changed = false;
@@ -599,8 +606,10 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
                 break;
             }
         }
+        drop(_lcm_timer);
 
         // Phase 4: apply.
+        let _apply_timer = cps_obs::time(cps_obs::Phase::CmaMove, 1);
         let mut moved = 0usize;
         let mut max_displacement = 0.0f64;
         for (i, &id) in alive_ids.iter().enumerate() {
@@ -614,6 +623,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             node.position = adjusted[i];
             node.curvature = new_curvature[i];
         }
+        drop(_apply_timer);
         self.time += self.config.time_step;
         // Update the gossiped curvature reference: running maximum with
         // a slow decay so the scale tracks the evolving field.

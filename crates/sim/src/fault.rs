@@ -763,6 +763,7 @@ impl FaultRuntime {
         }
         self.retried_total += retried;
         self.dropped_total += dropped;
+        cps_obs::count_by(cps_obs::Counter::FaultRetries, retried as u64);
         (down, retried, dropped, attempts_total)
     }
 

@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `serde` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). Instead of the full serde data model (visitors,
+//! `Serializer`/`Deserializer` dispatch), this stand-in routes
+//! everything through one concrete JSON-shaped tree, [`__private::Value`]:
+//!
+//! * [`Serialize`] converts a value **to** a [`__private::Value`];
+//! * [`Deserialize`] reconstructs a value **from** one.
+//!
+//! The `serde_derive` stand-in generates impls of these two traits for
+//! named-field structs and unit-variant enums, and the `serde_json`
+//! stand-in renders/parses the tree as JSON text. The subset is exactly
+//! what this workspace needs: `#[derive(Serialize, Deserialize)]` plus
+//! `serde_json::{to_string, to_string_pretty, from_str, Value}`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Support machinery shared by the derive macro and `serde_json`.
+///
+/// The name mirrors real serde's hidden support module; unlike real
+/// serde's, this one is a documented, stable part of the stand-in.
+pub mod __private {
+    use std::collections::BTreeMap;
+    use std::fmt;
+
+    /// A JSON-shaped tree: the single interchange format of the
+    /// stand-in (re-exported as `serde_json::Value`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON booleans.
+        Bool(bool),
+        /// JSON numbers (all stored as `f64`; integers up to 2^53
+        /// round-trip exactly).
+        Number(f64),
+        /// JSON strings.
+        String(String),
+        /// JSON arrays.
+        Array(Vec<Value>),
+        /// JSON objects, ordered by key for deterministic output.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// The object map, if this is an object.
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as `f64`, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The number as `u64`, if this is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// Whether this is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Looks up `key` when this is an object (`None` otherwise).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object().and_then(|m| m.get(key))
+        }
+    }
+
+    /// Serialization/deserialization failure: a plain message.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// An error carrying `message`.
+        pub fn custom(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Typed lookup of a struct field used by derived `Deserialize`
+    /// impls: a missing key behaves like an explicit `null` (so
+    /// `Option` fields default to `None`).
+    pub fn field<T: crate::Deserialize>(
+        obj: &BTreeMap<String, Value>,
+        key: &str,
+    ) -> Result<T, Error> {
+        T::deserialize(obj.get(key).unwrap_or(&Value::Null))
+            .map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+    }
+}
+
+use __private::{Error, Value};
+
+/// Conversion to the stand-in's interchange tree (see crate docs).
+pub trait Serialize {
+    /// This value as a [`__private::Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruction from the stand-in's interchange tree (see crate
+/// docs).
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`__private::Error`] when `v` has the wrong shape.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => {
+                        let i = *n as i128;
+                        <$t>::try_from(i)
+                            .map_err(|_| Error::custom("integer out of range"))
+                    }
+                    _ => Err(Error::custom("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if a.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::deserialize(&a[0])?, B::deserialize(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if a.len() != 3 {
+            return Err(Error::custom("expected 3-element array"));
+        }
+        Ok((
+            A::deserialize(&a[0])?,
+            B::deserialize(&a[1])?,
+            C::deserialize(&a[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::deserialize(x)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits (which route through the JSON-shaped
+//! `serde::__private::Value` tree — see the serde stand-in's crate
+//! docs). Supported shapes, which cover everything this workspace
+//! derives:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * enums whose variants are all unit variants → JSON strings holding
+//!   the variant name.
+//!
+//! Anything else (tuple structs, generics, data-carrying enums, serde
+//! attributes) produces a `compile_error!` naming the limitation, so a
+//! future use of an unsupported shape fails loudly at build time
+//! rather than misbehaving at run time.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives the stand-in `serde::Serialize` (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::__private::Value {{\n\
+                         let mut __m = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\n\
+                         ::serde::__private::Value::Object(__m)\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::__private::Value::String(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::__private::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the stand-in `serde::Deserialize` (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__o, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::__private::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+                         let __o = __v.as_object().ok_or_else(|| \
+                             ::serde::__private::Error::custom(\
+                                 \"expected object for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::__private::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             ::std::option::Option::Some(__s) => match __s {{\n\
+                                 {arms}\n\
+                                 _ => ::std::result::Result::Err(\
+                                     ::serde::__private::Error::custom(::std::format!(\
+                                         \"unknown variant `{{__s}}` for enum {name}\"))),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::__private::Error::custom(\
+                                     \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Emits `compile_error!` carrying `msg`.
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"serde stand-in derive: {}\");", msg.replace('"', "'"))
+        .parse()
+        .expect("compile_error parses")
+}
+
+/// Parses a derive input into [`Item`], rejecting unsupported shapes.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported"));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` is not supported"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit struct `{name}` is not supported"));
+            }
+            Some(_) => i += 1, // `where` clauses etc. (not expected, but harmless)
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            fields: parse_named_fields(body.stream())?,
+            name,
+        }),
+        "enum" => Ok(Item::Enum {
+            variants: parse_unit_variants(body.stream())?,
+            name,
+        }),
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, doc comments) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional `(crate)` / `(super)` restriction
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+///
+/// Types are skipped rather than parsed — the generated code never
+/// needs them (trait dispatch recovers them) — by scanning to the next
+/// top-level `,`, tracking `<`/`>` nesting so commas inside generics
+/// don't split a field. Exotic types containing a bare `->` or `>>`
+/// punctuation outside a group would confuse the scan; none occur in
+/// this workspace.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected a field name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the `,` (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected a variant name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!("variant `{name}` carries data; only unit variants are supported"));
+            }
+            Some(t) => return Err(format!("unexpected `{t}` after variant `{name}`")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}

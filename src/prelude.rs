@@ -7,9 +7,11 @@
 //! brings in the region/grid types, the field traits, the two
 //! algorithm builders ([`FraBuilder`] for stationary placement,
 //! [`CmaBuilder`] for the mobile swarm), deployment evaluation, the
-//! thread-count policy [`Parallelism`], and the workspace-wide
-//! [`Error`](crate::Error). Anything more specialised stays behind the
-//! per-crate modules (`cps::field`, `cps::geometry`, ...).
+//! thread-count policy [`Parallelism`], the instrumentation layer
+//! (the `obs` module plus its [`RunMetrics`] snapshot), and the
+//! workspace-wide [`Error`](crate::Error). Anything more specialised
+//! stays behind the per-crate modules (`cps::field`, `cps::geometry`,
+//! ...).
 
 pub use crate::Error;
 pub use cps_core::osd::{FraBuilder, FraResult};
@@ -20,6 +22,8 @@ pub use cps_core::{
 };
 pub use cps_field::{Field, Parallelism, ReconstructedSurface, Static, TimeVaryingField};
 pub use cps_geometry::{GridSpec, Point2, Rect};
+pub use cps_obs as obs;
+pub use cps_obs::{PhaseRecord, RunMetrics};
 pub use cps_sim::{
     scenario, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan, FaultPlanBuilder, RecoveryPolicy,
     SimConfig, Simulation,
@@ -49,6 +53,26 @@ mod tests {
         let mut timeline = DeltaTimeline::new();
         timeline.record(&sim, &grid).unwrap();
         assert_eq!(timeline.len(), 1);
+    }
+
+    #[test]
+    fn prelude_covers_the_metrics_path() {
+        obs::reset();
+        obs::enable();
+        let region = Rect::square(50.0).unwrap();
+        let grid = GridSpec::new(region, 31, 31).unwrap();
+        let reference = cps_field::PeaksField::new(region, 8.0);
+        // Generous radius: no budget goes to relays, so all 10 picks
+        // are refinement picks and each one is a Delaunay insert.
+        let result = FraBuilder::new(10, 100.0)
+            .grid(grid)
+            .run(&reference)
+            .unwrap();
+        let metrics: RunMetrics = obs::snapshot();
+        obs::disable();
+        assert_eq!(result.positions.len(), 10);
+        assert!(metrics.counter(obs::Counter::DelaunayInserts) >= 10);
+        let _records: &[PhaseRecord] = &metrics.phases;
     }
 
     #[test]
