@@ -1,7 +1,7 @@
 //! Substrate bench: the δ quadrature (Eqn. 2) and reconstruction.
 
 use cps_core::osd::baselines;
-use cps_core::{evaluate_deployment, evaluate_deployment_with};
+use cps_core::{DeltaEvaluator, EvalOptions};
 use cps_field::{delta, Field, Parallelism, PeaksField, PlaneField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -55,15 +55,44 @@ fn bench_full_evaluation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let nodes = baselines::random_deployment(region, 100, &mut rng);
     c.bench_function("evaluate_deployment_100_nodes", |b| {
-        b.iter(|| evaluate_deployment(&f, &nodes, 10.0, &grid).unwrap().delta)
+        let mut evaluator = DeltaEvaluator::new(&f, &grid, 10.0).parallelism(Parallelism::serial());
+        b.iter(|| evaluator.evaluate(&nodes).unwrap().delta)
     });
     let mut group = c.benchmark_group("evaluate_deployment_100_nodes_par");
     for (label, par) in policies() {
         group.bench_with_input(BenchmarkId::from_parameter(label), &par, |b, &par| {
+            let mut evaluator = DeltaEvaluator::new(&f, &grid, 10.0).parallelism(par);
+            b.iter(|| evaluator.evaluate(&nodes).unwrap().delta)
+        });
+    }
+    group.finish();
+}
+
+/// The tentpole case: re-evaluating a deployment after a single node
+/// moves. The tile cache re-integrates only the dirtied tiles; the
+/// uncached path sweeps the whole grid every time.
+fn bench_incremental_move(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 201, 201).unwrap();
+    let f = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, 100, &mut rng);
+    let mut moved = nodes.clone();
+    moved[0].x += 0.5;
+    moved[0].y -= 0.25;
+    let mut group = c.benchmark_group("reevaluate_after_one_move_201x201");
+    group.sample_size(20);
+    for (label, cached) in [("uncached", false), ("cached", true)] {
+        group.bench_function(label, |b| {
+            let mut evaluator = DeltaEvaluator::new(&f, &grid, 10.0).options(
+                EvalOptions::new()
+                    .parallelism(Parallelism::serial())
+                    .cached(cached),
+            );
             b.iter(|| {
-                evaluate_deployment_with(&f, &nodes, 10.0, &grid, par)
-                    .unwrap()
-                    .delta
+                let a = evaluator.evaluate(&nodes).unwrap().delta;
+                let b2 = evaluator.evaluate(&moved).unwrap().delta;
+                a + b2
             })
         });
     }
@@ -74,6 +103,7 @@ criterion_group!(
     benches,
     bench_volume_difference,
     bench_volume_difference_parallel,
-    bench_full_evaluation
+    bench_full_evaluation,
+    bench_incremental_move
 );
 criterion_main!(benches);

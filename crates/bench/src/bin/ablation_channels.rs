@@ -6,8 +6,8 @@
 //! the synthetic trace.
 
 use cps_bench::{eval_grid, paper_dataset, paper_region, PAPER_RC};
-use cps_core::evaluate_deployment;
 use cps_core::osd::{baselines, FraBuilder};
+use cps_core::DeltaEvaluator;
 use cps_greenorbs::Channel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,15 +31,15 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let fe = evaluate_deployment(&reference, &fra.positions, PAPER_RC, &grid)
+        let mut evaluator = DeltaEvaluator::new(&reference, &grid, PAPER_RC);
+        let fe = evaluator
+            .evaluate(&fra.positions)
             .expect("evaluation succeeds");
         let mut sum = 0.0;
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             let pts = baselines::random_deployment(region, k, &mut rng);
-            sum += evaluate_deployment(&reference, &pts, PAPER_RC, &grid)
-                .expect("evaluation succeeds")
-                .delta;
+            sum += evaluator.evaluate(&pts).expect("evaluation succeeds").delta;
         }
         let random = sum / 5.0;
         println!(

@@ -6,8 +6,8 @@
 //! about a single dominant curvature sign is violated — to check the
 //! algorithms degrade gracefully rather than break.
 
-use cps_core::evaluate_deployment;
 use cps_core::osd::{baselines, FraBuilder};
+use cps_core::DeltaEvaluator;
 use cps_field::RidgeField;
 use cps_geometry::{GridSpec, Rect};
 use rand::rngs::StdRng;
@@ -25,7 +25,8 @@ fn main() {
             .grid(grid)
             .run(&field)
             .expect("FRA succeeds on non-convex input");
-        let fe = evaluate_deployment(&field, &fra.positions, 10.0, &grid).expect("evaluation");
+        let mut evaluator = DeltaEvaluator::new(&field, &grid, 10.0);
+        let fe = evaluator.evaluate(&fra.positions).expect("evaluation");
         assert!(
             fe.connected,
             "FRA must stay connected even on concave fields"
@@ -35,9 +36,7 @@ fn main() {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             let pts = baselines::random_deployment(region, k, &mut rng);
-            sum += evaluate_deployment(&field, &pts, 10.0, &grid)
-                .expect("evaluation")
-                .delta;
+            sum += evaluator.evaluate(&pts).expect("evaluation").delta;
         }
         let random = sum / 5.0;
         println!(

@@ -12,8 +12,8 @@
 //!   repair relays fit in `k` (a fair same-budget comparison).
 
 use cps_bench::{eval_grid, paper_dataset, reference_light_surface, PAPER_RC};
-use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
+use cps_core::DeltaEvaluator;
 use cps_geometry::Point2;
 use cps_network::{RelayPlan, UnitDiskGraph};
 
@@ -54,13 +54,13 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let fe =
-            evaluate_deployment(&reference, &fra.positions, PAPER_RC, &grid).expect("evaluation");
+        let mut evaluator = DeltaEvaluator::new(&reference, &grid, PAPER_RC);
+        let fe = evaluator.evaluate(&fra.positions).expect("evaluation");
 
         // Naive with overrun: k greedy picks + however many relays.
         let greedy = greedy_positions(&reference, grid, k);
         let repaired = repair(&greedy);
-        let re = evaluate_deployment(&reference, &repaired, PAPER_RC, &grid).expect("evaluation");
+        let re = evaluator.evaluate(&repaired).expect("evaluation");
 
         // Naive truncated to the same budget: shrink the greedy pick
         // count until picks + repair relays fit within k (damped steps;
@@ -75,7 +75,7 @@ fn main() {
             let over = fixed.len() - k;
             g = g.saturating_sub(over.div_ceil(2).max(1)).max(3);
         };
-        let te = evaluate_deployment(&reference, &truncated, PAPER_RC, &grid).expect("evaluation");
+        let te = evaluator.evaluate(&truncated).expect("evaluation");
 
         println!(
             "{k:>5} {:>14.1} {:>12.1} ({:>4}) {:>14.1} ({:>4})",

@@ -5,8 +5,8 @@
 //! budget and reports δ and the refinement/relay split.
 
 use cps_bench::{eval_grid, paper_dataset, reference_light_surface};
-use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
+use cps_core::DeltaEvaluator;
 
 fn main() {
     let dataset = paper_dataset();
@@ -23,7 +23,8 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let eval = evaluate_deployment(&reference, &fra.positions, rc, &grid)
+        let eval = DeltaEvaluator::new(&reference, &grid, rc)
+            .evaluate(&fra.positions)
             .expect("evaluation succeeds");
         println!(
             "{rc:>6.1} {:>12.1} {:>8} {:>8} {:>10}",

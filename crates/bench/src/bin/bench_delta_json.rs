@@ -12,6 +12,11 @@
 //! one point per recorded run, appended on every invocation, so the
 //! performance history of the repository stays reviewable in-tree.
 //!
+//! The `incremental` section times the tile-cached [`DeltaEvaluator`]
+//! against full recompute on a sequence of single-node moves, and
+//! records the cps-obs tile counters that prove only dirtied tiles
+//! were re-integrated.
+//!
 //! Run with: `cargo run --release -p cps-bench --bin bench_delta_json`
 //! (writes `BENCH_delta.json` in the current directory; pass a path to
 //! override and an optional label for the trajectory point).
@@ -21,6 +26,7 @@ use std::fs;
 use std::time::Instant;
 
 use cps_core::osd::baselines;
+use cps_core::{DeltaEvaluator, EvalOptions};
 use cps_field::{delta, Field, Parallelism, PeaksField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use rand::rngs::StdRng;
@@ -39,6 +45,19 @@ struct ResultEntry {
     min_ns: u64,
     median_ns: u64,
     speedup_vs_serial: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct IncrementalEntry {
+    edits: usize,
+    uncached_total_ns: u64,
+    cached_total_ns: u64,
+    speedup: f64,
+    max_rel_error: f64,
+    tile_cache_hits: u64,
+    tile_cache_misses: u64,
+    tile_invalidations: u64,
+    tiles_total: u64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -61,6 +80,7 @@ struct BenchDoc {
     delta: f64,
     bit_identical_across_policies: bool,
     results: Vec<ResultEntry>,
+    incremental: IncrementalEntry,
     trajectory: Vec<TrajectoryPoint>,
 }
 
@@ -143,6 +163,8 @@ fn main() {
         .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    let incremental = bench_incremental(&reference, &grid, region);
+
     let mut trajectory = previous_trajectory(&out_path);
     trajectory.push(TrajectoryPoint {
         label,
@@ -162,6 +184,7 @@ fn main() {
         delta: expected,
         bit_identical_across_policies: true,
         results,
+        incremental,
         trajectory,
     };
 
@@ -178,5 +201,85 @@ fn main() {
             t.median_ns as f64 / 1e6,
             t.speedup_vs_serial
         );
+    }
+    let inc = &doc.incremental;
+    println!(
+        "  incremental ({} moves): uncached {:.2} ms, cached {:.2} ms (x{:.2}); \
+         tiles refreshed {} / reused {} of {} total",
+        inc.edits,
+        inc.uncached_total_ns as f64 / 1e6,
+        inc.cached_total_ns as f64 / 1e6,
+        inc.speedup,
+        inc.tile_cache_misses,
+        inc.tile_cache_hits,
+        inc.tiles_total,
+    );
+}
+
+/// Times a sequence of single-node moves through the tile-cached
+/// evaluator vs full recompute, cross-checking every δ and collecting
+/// the tile counters that show how much work the cache skipped.
+fn bench_incremental(reference: &PeaksField, grid: &GridSpec, region: Rect) -> IncrementalEntry {
+    const EDITS: usize = 20;
+    let mut rng = StdRng::seed_from_u64(7);
+    let base = baselines::random_deployment(region, 100, &mut rng);
+
+    // Each step nudges one node (round-robin) by a fixed offset — the
+    // CMA regime the cache is built for.
+    let mut deployments = vec![base.clone()];
+    let mut current = base;
+    for i in 0..EDITS {
+        let n = current.len();
+        let node = i % n;
+        current[node].x = (current[node].x + 1.7).min(region.max().x - 0.5);
+        current[node].y = (current[node].y + 0.9).min(region.max().y - 0.5);
+        deployments.push(current.clone());
+    }
+
+    let serial = EvalOptions::new().parallelism(Parallelism::serial());
+    let mut uncached = DeltaEvaluator::new(reference, grid, 10.0).options(serial);
+    let mut cached = DeltaEvaluator::new(reference, grid, 10.0).options(serial.cached(true));
+
+    // Prime both outside the timers: the cache pays full price on its
+    // first refresh, and the comparison is about steady-state edits.
+    let mut reference_deltas = vec![uncached.evaluate(&deployments[0]).expect("prime").delta];
+    cached.evaluate(&deployments[0]).expect("prime");
+
+    let start = Instant::now();
+    for d in &deployments[1..] {
+        reference_deltas.push(uncached.evaluate(d).expect("uncached eval").delta);
+    }
+    let uncached_total_ns = start.elapsed().as_nanos() as u64;
+
+    cps_obs::reset();
+    cps_obs::enable();
+    let start = Instant::now();
+    let mut max_rel_error: f64 = 0.0;
+    for (d, expected) in deployments[1..].iter().zip(&reference_deltas[1..]) {
+        let got = cached.evaluate(d).expect("cached eval").delta;
+        let rel = (got - expected).abs() / expected.abs().max(1.0);
+        assert!(rel <= 1e-9, "cached delta diverged: {got} vs {expected}");
+        max_rel_error = max_rel_error.max(rel);
+    }
+    let cached_total_ns = start.elapsed().as_nanos() as u64;
+    let metrics = cps_obs::snapshot();
+    cps_obs::disable();
+
+    let hits = metrics.counter(cps_obs::Counter::TileCacheHits);
+    let misses = metrics.counter(cps_obs::Counter::TileCacheMisses);
+    assert!(
+        hits > misses,
+        "the cache must reuse most tiles on single-node moves ({hits} hits, {misses} misses)"
+    );
+    IncrementalEntry {
+        edits: EDITS,
+        uncached_total_ns,
+        cached_total_ns,
+        speedup: uncached_total_ns as f64 / cached_total_ns as f64,
+        max_rel_error,
+        tile_cache_hits: hits,
+        tile_cache_misses: misses,
+        tile_invalidations: metrics.counter(cps_obs::Counter::TileInvalidations),
+        tiles_total: hits + misses,
     }
 }

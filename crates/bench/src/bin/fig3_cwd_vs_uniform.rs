@@ -11,7 +11,7 @@
 use cps_core::osd::baselines::uniform_grid_deployment;
 use cps_core::ostd::cwd::{cwd_metrics, relax_to_cwd};
 use cps_core::ostd::gaussian_curvature_at;
-use cps_core::{evaluate_deployment, CpsConfig};
+use cps_core::{CpsConfig, DeltaEvaluator};
 use cps_field::PeaksField;
 use cps_geometry::{GridSpec, Rect};
 use cps_viz::ascii_scatter;
@@ -38,7 +38,8 @@ fn main() {
 
     println!("=== Fig. 3: 16 nodes on peaks(100), Rc = 30 ===");
     for (name, pts) in [("uniform (Fig. 3b)", &uniform), ("CWD (Fig. 3c)", &cwd)] {
-        let eval = evaluate_deployment(&field, pts, cfg.comm_radius(), &grid)
+        let eval = DeltaEvaluator::new(&field, &grid, cfg.comm_radius())
+            .evaluate(pts)
             .expect("evaluation succeeds");
         let curv = curvature(pts);
         let metrics = cwd_metrics(pts, &curv, cfg.comm_radius()).expect("metrics");
@@ -53,8 +54,9 @@ fn main() {
             metrics.max_balance_residual
         );
     }
-    let u = evaluate_deployment(&field, &uniform, cfg.comm_radius(), &grid).unwrap();
-    let c = evaluate_deployment(&field, &cwd, cfg.comm_radius(), &grid).unwrap();
+    let mut evaluator = DeltaEvaluator::new(&field, &grid, cfg.comm_radius());
+    let u = evaluator.evaluate(&uniform).unwrap();
+    let c = evaluator.evaluate(&cwd).unwrap();
     let cu = curvature(&uniform).iter().map(|g| g.abs()).sum::<f64>();
     let cc = curvature(&cwd).iter().map(|g| g.abs()).sum::<f64>();
     println!(

@@ -10,8 +10,8 @@
 use cps_bench::{
     eval_grid, output_dir, paper_dataset, paper_region, reference_light_surface, PAPER_RC,
 };
-use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
+use cps_core::DeltaEvaluator;
 use cps_field::ReconstructedSurface;
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, topology_summary};
 use std::fs;
@@ -32,7 +32,8 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let eval = evaluate_deployment(&reference, &result.positions, PAPER_RC, &grid)
+        let eval = DeltaEvaluator::new(&reference, &grid, PAPER_RC)
+            .evaluate(&result.positions)
             .expect("evaluation succeeds");
         use cps_field::Field;
         let samples: Vec<f64> = result

@@ -8,8 +8,8 @@
 //! seed), averaging the random baseline over five seeds.
 
 use cps_bench::{eval_grid, output_dir, paper_dataset, reference_light_surface, PAPER_RC};
-use cps_core::evaluate_deployment;
 use cps_core::osd::{baselines, FraBuilder};
+use cps_core::DeltaEvaluator;
 use cps_viz::write_xy_series;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +38,9 @@ fn main() {
             .grid(grid)
             .run(&reference)
             .expect("FRA succeeds");
-        let fe = evaluate_deployment(&reference, &fra.positions, PAPER_RC, &grid)
+        let mut evaluator = DeltaEvaluator::new(&reference, &grid, PAPER_RC);
+        let fe = evaluator
+            .evaluate(&fra.positions)
             .expect("FRA evaluation succeeds");
 
         let mut sum = 0.0;
@@ -46,7 +48,7 @@ fn main() {
         for seed in 0..RANDOM_SEEDS {
             let mut rng = StdRng::seed_from_u64(seed);
             let pts = baselines::random_deployment(region, k, &mut rng);
-            if let Ok(e) = evaluate_deployment(&reference, &pts, PAPER_RC, &grid) {
+            if let Ok(e) = evaluator.evaluate(&pts) {
                 sum += e.delta;
                 count += 1;
             }

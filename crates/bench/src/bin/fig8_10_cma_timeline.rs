@@ -12,8 +12,8 @@
 //! re-interpolation of the scattered trace).
 
 use cps_bench::{eval_grid, output_dir, paper_region, PAPER_RC};
-use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
+use cps_core::DeltaEvaluator;
 use cps_field::{GridField, TimeVaryingField};
 use cps_greenorbs::{ForestConfig, LatentLightField};
 use cps_sim::{scenario, CmaBuilder, DeltaTimeline, ExplorationTracker};
@@ -72,8 +72,9 @@ fn main() {
         .grid(grid)
         .run(&snapshot)
         .expect("FRA succeeds");
-    let fra_eval =
-        evaluate_deployment(&snapshot, &fra.positions, PAPER_RC, &grid).expect("evaluation");
+    let fra_eval = DeltaEvaluator::new(&snapshot, &grid, PAPER_RC)
+        .evaluate(&fra.positions)
+        .expect("evaluation");
 
     let last = timeline.delta_series().last().map(|&(_, d)| d).unwrap();
     println!("\n--- Fig. 10 summary ---");

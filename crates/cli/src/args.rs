@@ -164,6 +164,25 @@ impl Args {
         }
     }
 
+    /// An optional boolean flag with a default; accepts
+    /// `on`/`off`/`true`/`false`/`1`/`0`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::BadValue`].
+    pub fn bool_or(&self, flag: &str, default: bool) -> Result<bool, ArgsError> {
+        match self.raw(flag) {
+            None => Ok(default),
+            Some("on") | Some("true") | Some("1") => Ok(true),
+            Some("off") | Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(ArgsError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "on|off",
+            }),
+        }
+    }
+
     /// An optional `u32` flag with a default.
     ///
     /// # Errors
@@ -227,6 +246,20 @@ mod tests {
         assert_eq!(a.string_or("out", "x.csv"), "x.csv");
         assert_eq!(a.u32_or("hour", 10).unwrap(), 10);
         assert_eq!(a.u64_or("seed", 7).unwrap(), 7);
+        assert!(!a.bool_or("cache", false).unwrap());
+    }
+
+    #[test]
+    fn booleans_accept_switch_spellings() {
+        let a = parse(&["simulate", "--cache", "on"]).unwrap();
+        assert!(a.bool_or("cache", false).unwrap());
+        let b = parse(&["simulate", "--cache", "0"]).unwrap();
+        assert!(!b.bool_or("cache", true).unwrap());
+        let c = parse(&["simulate", "--cache", "maybe"]).unwrap();
+        assert!(matches!(
+            c.bool_or("cache", false).unwrap_err(),
+            ArgsError::BadValue { .. }
+        ));
     }
 
     #[test]

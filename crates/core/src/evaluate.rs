@@ -1,7 +1,15 @@
 //! Deployment evaluation: reconstruct from the node samples and measure
 //! the paper's δ against the reference surface.
+//!
+//! The single entry point is [`DeltaEvaluator`]: a builder holding the
+//! reference field, grid, and communication radius, with options for
+//! the thread policy, survivor-mask graceful degradation, and the
+//! incremental tile cache ([`cps_field::DeltaCache`]). The four legacy
+//! free functions remain as thin deprecated shims over it.
 
-use cps_field::{delta, Field, FieldError, Parallelism, PlaneField, ReconstructedSurface};
+use cps_field::{
+    delta, DeltaCache, Field, FieldError, Parallelism, PlaneField, ReconstructedSurface,
+};
 use cps_geometry::{GridSpec, Point2};
 use cps_network::UnitDiskGraph;
 
@@ -21,20 +29,74 @@ pub struct DeploymentEvaluation {
     pub node_count: usize,
 }
 
-/// Samples `reference` at the node positions, rebuilds the surface
-/// `z* = DT(x, y)`, and measures δ over `grid`, along with the
-/// connectivity of the communication graph at `comm_radius`.
+/// Evaluation knobs shared by everything that measures δ:
+/// [`DeltaEvaluator`] itself, plus the FRA and CMA builders via their
+/// `.evaluator(...)` option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalOptions {
+    /// Thread policy for grid sweeps. Results are bit-identical at any
+    /// thread count; this only changes wall-clock time.
+    pub parallelism: Parallelism,
+    /// Whether δ quadratures go through the incremental tile cache
+    /// ([`cps_field::DeltaCache`]) instead of re-walking the full grid.
+    /// Off by default; pays off when the same evaluator sees a sequence
+    /// of slowly changing deployments against a static reference.
+    pub cached: bool,
+}
+
+impl EvalOptions {
+    /// The defaults: [`Parallelism::auto`], cache off.
+    pub fn new() -> Self {
+        EvalOptions::default()
+    }
+
+    /// Sets the thread policy.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Enables or disables the incremental tile cache.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            parallelism: Parallelism::auto(),
+            cached: false,
+        }
+    }
+}
+
+/// The unified deployment-evaluation builder: samples the reference at
+/// the node positions, rebuilds `z* = DT(x, y)`, and measures δ and RMS
+/// over the grid, along with unit-disk connectivity.
 ///
-/// # Errors
+/// Replaces the deprecated `evaluate_deployment` /
+/// `evaluate_deployment_with` / `evaluate_survivors` /
+/// `evaluate_survivors_with` quartet:
 ///
-/// * [`CoreError::Field`] — fewer than 3 distinct positions, a position
-///   outside the grid's region, or non-finite values.
-/// * [`CoreError::Network`] — invalid communication radius.
+/// | legacy call | `DeltaEvaluator` equivalent |
+/// |---|---|
+/// | `evaluate_deployment(f, ps, rc, g)` | `DeltaEvaluator::new(f, g, rc).parallelism(Parallelism::serial()).evaluate(ps)` |
+/// | `evaluate_deployment_with(.., par)` | `.parallelism(par).evaluate(ps)` |
+/// | `evaluate_survivors(..)` | `.survivors(true)` before `.evaluate(ps)` |
+///
+/// The evaluator is stateful only when [`cached`](DeltaEvaluator::cached)
+/// is on: the tile cache persists across [`evaluate`](DeltaEvaluator::evaluate)
+/// calls, so a sequence of slowly changing deployments re-integrates
+/// only the tiles whose reconstruction triangles changed. Cached and
+/// uncached results agree within 1e-9 (relative); the uncached path is
+/// bit-identical to the legacy functions at any thread count.
 ///
 /// # Example
 ///
 /// ```
-/// use cps_core::evaluate_deployment;
+/// use cps_core::DeltaEvaluator;
 /// use cps_field::PlaneField;
 /// use cps_geometry::{GridSpec, Point2, Rect};
 ///
@@ -42,34 +104,226 @@ pub struct DeploymentEvaluation {
 /// let grid = GridSpec::new(region, 21, 21).unwrap();
 /// let f = PlaneField::new(1.0, 1.0, 0.0);
 /// let nodes: Vec<Point2> = region.corners().to_vec();
-/// let eval = evaluate_deployment(&f, &nodes, 15.0, &grid).unwrap();
+/// let eval = DeltaEvaluator::new(&f, &grid, 15.0).evaluate(&nodes).unwrap();
 /// assert!(eval.delta < 1e-9); // planes reconstruct exactly
 /// assert!(eval.connected);
 /// ```
-pub fn evaluate_deployment<F: Field>(
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluator<'f, F> {
+    reference: &'f F,
+    grid: GridSpec,
+    comm_radius: f64,
+    opts: EvalOptions,
+    survivors: bool,
+    mask: Option<Vec<bool>>,
+    cache: Option<DeltaCache>,
+}
+
+impl<'f, F: Field + Sync> DeltaEvaluator<'f, F> {
+    /// Creates an evaluator for `reference` over `grid` with the given
+    /// communication radius ([`EvalOptions::default`] options: auto
+    /// parallelism, cache off, hard errors below three distinct nodes).
+    pub fn new(reference: &'f F, grid: &GridSpec, comm_radius: f64) -> Self {
+        DeltaEvaluator {
+            reference,
+            grid: *grid,
+            comm_radius,
+            opts: EvalOptions::default(),
+            survivors: false,
+            mask: None,
+            cache: None,
+        }
+    }
+
+    /// Replaces all evaluation options at once (the struct shared with
+    /// the FRA/CMA builders).
+    pub fn options(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the thread policy for the δ and RMS sweeps.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.opts.parallelism = par;
+        self
+    }
+
+    /// Turns the incremental tile cache on or off.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.opts.cached = cached;
+        self
+    }
+
+    /// Enables graceful degradation under attrition: with fewer than
+    /// three distinct positions the abstraction collapses to the best
+    /// constant surface — the mean of the survivor samples (0 with no
+    /// survivors) — instead of erroring, so the honest, large δ shows
+    /// up in survivability curves instead of aborting them.
+    pub fn survivors(mut self, survivors: bool) -> Self {
+        self.survivors = survivors;
+        self
+    }
+
+    /// Restricts evaluation to the positions whose mask flag is `true`
+    /// (one flag per position passed to
+    /// [`evaluate`](DeltaEvaluator::evaluate)). Implies
+    /// [`survivors(true)`](DeltaEvaluator::survivors), since a mask
+    /// exists precisely to model attrition.
+    pub fn survivor_mask(mut self, mask: &[bool]) -> Self {
+        self.mask = Some(mask.to_vec());
+        self.survivors = true;
+        self
+    }
+
+    /// Adopts a previously detached tile cache (see
+    /// [`take_cache`](DeltaEvaluator::take_cache)); implies
+    /// [`cached(true)`](DeltaEvaluator::cached). A cache built over a
+    /// different grid is discarded and rebuilt on first use; a cache
+    /// whose reference probes no longer match is re-primed.
+    pub fn with_cache(mut self, cache: DeltaCache) -> Self {
+        self.cache = Some(cache);
+        self.opts.cached = true;
+        self
+    }
+
+    /// Detaches the tile cache so it can outlive this evaluator (e.g.
+    /// across the short-lived frozen-field evaluators a δ timeline
+    /// builds every recording).
+    pub fn take_cache(&mut self) -> Option<DeltaCache> {
+        self.cache.take()
+    }
+
+    /// The active options.
+    pub fn eval_options(&self) -> EvalOptions {
+        self.opts
+    }
+
+    /// Evaluates one deployment. With the cache on, successive calls
+    /// re-integrate only the tiles invalidated by the dirty-triangle
+    /// diff against the previous call's reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] — a survivor mask whose length
+    ///   differs from `positions`.
+    /// * [`CoreError::Field`] — fewer than 3 distinct positions (unless
+    ///   [`survivors`](DeltaEvaluator::survivors) absorbs it), a
+    ///   position outside the grid's region, or non-finite values.
+    /// * [`CoreError::Network`] — invalid communication radius.
+    pub fn evaluate(&mut self, positions: &[Point2]) -> Result<DeploymentEvaluation, CoreError> {
+        let masked;
+        let positions = match &self.mask {
+            Some(mask) => {
+                if mask.len() != positions.len() {
+                    return Err(CoreError::InvalidParameter {
+                        name: "survivor_mask",
+                        requirement: "must carry exactly one flag per position",
+                    });
+                }
+                masked = positions
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(&p, &alive)| alive.then_some(p))
+                    .collect::<Vec<Point2>>();
+                &masked[..]
+            }
+            None => positions,
+        };
+        let par = self.opts.parallelism;
+        let samples: Vec<f64> = positions.iter().map(|&p| self.reference.value(p)).collect();
+        match ReconstructedSurface::from_samples(self.grid.rect(), positions, &samples) {
+            Ok(surface) => {
+                let graph = UnitDiskGraph::new(positions.to_vec(), self.comm_radius)?;
+                let (delta, rms) = if self.opts.cached {
+                    self.cached_quadrature(&surface)
+                } else {
+                    (
+                        delta::volume_difference_with(self.reference, &surface, &self.grid, par),
+                        delta::rms_difference_with(self.reference, &surface, &self.grid, par),
+                    )
+                };
+                Ok(DeploymentEvaluation {
+                    delta,
+                    rms,
+                    connected: graph.is_connected(),
+                    node_count: positions.len(),
+                })
+            }
+            Err(FieldError::TooFewSamples { .. }) if self.survivors => {
+                // The one and only constant-surface fallback: measured
+                // uncached (a plane has no triangles to diff).
+                cps_obs::count(cps_obs::Counter::SurvivorFallbacks);
+                let graph = UnitDiskGraph::new(positions.to_vec(), self.comm_radius)?;
+                let surface = constant_fallback(&samples);
+                Ok(DeploymentEvaluation {
+                    delta: delta::volume_difference_with(self.reference, &surface, &self.grid, par),
+                    rms: delta::rms_difference_with(self.reference, &surface, &self.grid, par),
+                    connected: graph.is_connected(),
+                    node_count: positions.len(),
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn cached_quadrature(&mut self, surface: &ReconstructedSurface) -> (f64, f64) {
+        let par = self.opts.parallelism;
+        let mut cache = match self.cache.take() {
+            Some(mut c) if c.compatible(&self.grid) => {
+                if !c.reference_matches(self.reference) {
+                    cps_obs::count(cps_obs::Counter::CacheReprimes);
+                    c.reprime(self.reference, par);
+                }
+                c
+            }
+            _ => DeltaCache::new(self.reference, &self.grid, par),
+        };
+        let totals = cache.refresh(surface, par);
+        self.cache = Some(cache);
+        (totals.delta, totals.rms)
+    }
+}
+
+/// The degraded abstraction when a Delaunay reconstruction is
+/// impossible: the constant surface through the survivor-sample mean
+/// (0 with no survivors at all). Defined in exactly one place.
+pub(crate) fn constant_fallback(samples: &[f64]) -> PlaneField {
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    PlaneField::new(0.0, 0.0, mean)
+}
+
+/// Samples `reference` at the node positions, rebuilds the surface, and
+/// measures δ with the serial quadrature.
+///
+/// # Errors
+///
+/// Same contract as [`DeltaEvaluator::evaluate`] without a mask.
+#[deprecated(since = "0.2.0", note = "use DeltaEvaluator::new(..).evaluate(..)")]
+pub fn evaluate_deployment<F: Field + Sync>(
     reference: &F,
     positions: &[Point2],
     comm_radius: f64,
     grid: &GridSpec,
 ) -> Result<DeploymentEvaluation, CoreError> {
-    let samples: Vec<f64> = positions.iter().map(|&p| reference.value(p)).collect();
-    let surface = ReconstructedSurface::from_samples(grid.rect(), positions, &samples)?;
-    let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
-    Ok(DeploymentEvaluation {
-        delta: delta::volume_difference(reference, &surface, grid),
-        rms: delta::rms_difference(reference, &surface, grid),
-        connected: graph.is_connected(),
-        node_count: positions.len(),
-    })
+    DeltaEvaluator::new(reference, grid, comm_radius)
+        .parallelism(Parallelism::serial())
+        .evaluate(positions)
 }
 
-/// Like [`evaluate_deployment`], but runs the δ and RMS quadratures on
-/// the row-sharded parallel engine. Both metrics are bit-identical to
-/// the serial evaluation at any thread count.
+/// Like [`evaluate_deployment`] on the row-sharded parallel engine;
+/// bit-identical at any thread count.
 ///
 /// # Errors
 ///
-/// Same contract as [`evaluate_deployment`].
+/// Same contract as [`DeltaEvaluator::evaluate`] without a mask.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DeltaEvaluator::new(..).parallelism(par).evaluate(..)"
+)]
 pub fn evaluate_deployment_with<F: Field + Sync>(
     reference: &F,
     positions: &[Point2],
@@ -77,61 +331,45 @@ pub fn evaluate_deployment_with<F: Field + Sync>(
     grid: &GridSpec,
     par: Parallelism,
 ) -> Result<DeploymentEvaluation, CoreError> {
-    let samples: Vec<f64> = positions.iter().map(|&p| reference.value(p)).collect();
-    let surface = ReconstructedSurface::from_samples(grid.rect(), positions, &samples)?;
-    let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
-    Ok(DeploymentEvaluation {
-        delta: delta::volume_difference_with(reference, &surface, grid, par),
-        rms: delta::rms_difference_with(reference, &surface, grid, par),
-        connected: graph.is_connected(),
-        node_count: positions.len(),
-    })
+    DeltaEvaluator::new(reference, grid, comm_radius)
+        .parallelism(par)
+        .evaluate(positions)
 }
 
-/// Like [`evaluate_deployment`], but degrades gracefully instead of
-/// erroring when attrition leaves too few survivors for a Delaunay
-/// reconstruction: with fewer than three distinct positions the
-/// abstraction collapses to the best constant surface — the mean of the
-/// survivor samples (0 with no survivors at all) — and δ is measured
-/// against that. The honest, large δ shows up in survivability curves
-/// instead of aborting them.
-///
-/// On three or more distinct positions this is exactly
-/// [`evaluate_deployment`].
+/// Like [`evaluate_deployment`], but degrades to the constant surface
+/// through the survivor-sample mean below three distinct positions.
 ///
 /// # Errors
 ///
-/// Same contract as [`evaluate_deployment`] except that
-/// [`FieldError::TooFewSamples`] is absorbed by the constant-surface
-/// fallback.
-pub fn evaluate_survivors<F: Field>(
+/// Same contract as [`DeltaEvaluator::evaluate`] with survivors
+/// enabled.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DeltaEvaluator::new(..).survivors(true).evaluate(..)"
+)]
+pub fn evaluate_survivors<F: Field + Sync>(
     reference: &F,
     positions: &[Point2],
     comm_radius: f64,
     grid: &GridSpec,
 ) -> Result<DeploymentEvaluation, CoreError> {
-    match evaluate_deployment(reference, positions, comm_radius, grid) {
-        Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
-            cps_obs::count(cps_obs::Counter::SurvivorFallbacks);
-            let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
-            let surface = constant_fallback(reference, positions);
-            Ok(DeploymentEvaluation {
-                delta: delta::volume_difference(reference, &surface, grid),
-                rms: delta::rms_difference(reference, &surface, grid),
-                connected: graph.is_connected(),
-                node_count: positions.len(),
-            })
-        }
-        other => other,
-    }
+    DeltaEvaluator::new(reference, grid, comm_radius)
+        .parallelism(Parallelism::serial())
+        .survivors(true)
+        .evaluate(positions)
 }
 
-/// Like [`evaluate_survivors`], on the parallel evaluation engine;
-/// bit-identical to the serial version at any thread count.
+/// Like [`evaluate_survivors`] on the parallel engine; bit-identical at
+/// any thread count.
 ///
 /// # Errors
 ///
-/// Same contract as [`evaluate_survivors`].
+/// Same contract as [`DeltaEvaluator::evaluate`] with survivors
+/// enabled.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DeltaEvaluator::new(..).survivors(true).parallelism(par).evaluate(..)"
+)]
 pub fn evaluate_survivors_with<F: Field + Sync>(
     reference: &F,
     positions: &[Point2],
@@ -139,31 +377,10 @@ pub fn evaluate_survivors_with<F: Field + Sync>(
     grid: &GridSpec,
     par: Parallelism,
 ) -> Result<DeploymentEvaluation, CoreError> {
-    match evaluate_deployment_with(reference, positions, comm_radius, grid, par) {
-        Err(CoreError::Field(FieldError::TooFewSamples { .. })) => {
-            cps_obs::count(cps_obs::Counter::SurvivorFallbacks);
-            let graph = UnitDiskGraph::new(positions.to_vec(), comm_radius)?;
-            let surface = constant_fallback(reference, positions);
-            Ok(DeploymentEvaluation {
-                delta: delta::volume_difference_with(reference, &surface, grid, par),
-                rms: delta::rms_difference_with(reference, &surface, grid, par),
-                connected: graph.is_connected(),
-                node_count: positions.len(),
-            })
-        }
-        other => other,
-    }
-}
-
-/// The degraded abstraction when a Delaunay reconstruction is
-/// impossible: the constant surface through the survivor-sample mean.
-fn constant_fallback<F: Field>(reference: &F, positions: &[Point2]) -> PlaneField {
-    let mean = if positions.is_empty() {
-        0.0
-    } else {
-        positions.iter().map(|&p| reference.value(p)).sum::<f64>() / positions.len() as f64
-    };
-    PlaneField::new(0.0, 0.0, mean)
+    DeltaEvaluator::new(reference, grid, comm_radius)
+        .parallelism(par)
+        .survivors(true)
+        .evaluate(positions)
 }
 
 #[cfg(test)]
@@ -182,7 +399,9 @@ mod tests {
         let (region, grid) = setting();
         let f = cps_field::PlaneField::new(0.5, -0.3, 2.0);
         let nodes: Vec<Point2> = region.corners().to_vec();
-        let e = evaluate_deployment(&f, &nodes, 150.0, &grid).unwrap();
+        let e = DeltaEvaluator::new(&f, &grid, 150.0)
+            .evaluate(&nodes)
+            .unwrap();
         assert!(e.delta < 1e-9);
         assert!(e.rms < 1e-12);
         assert!(e.connected);
@@ -206,8 +425,9 @@ mod tests {
             }
             v
         };
-        let coarse = evaluate_deployment(&f, &mk(3), 200.0, &grid).unwrap();
-        let fine = evaluate_deployment(&f, &mk(7), 200.0, &grid).unwrap();
+        let mut ev = DeltaEvaluator::new(&f, &grid, 200.0);
+        let coarse = ev.evaluate(&mk(3)).unwrap();
+        let fine = ev.evaluate(&mk(7)).unwrap();
         assert!(fine.delta < coarse.delta);
         assert!(fine.rms < coarse.rms);
     }
@@ -219,18 +439,107 @@ mod tests {
         let mut nodes: Vec<Point2> = region.corners().to_vec();
         nodes.push(Point2::new(37.0, 61.0));
         nodes.push(Point2::new(70.0, 20.0));
-        let serial = evaluate_deployment(&f, &nodes, 200.0, &grid).unwrap();
+        let serial = DeltaEvaluator::new(&f, &grid, 200.0)
+            .parallelism(Parallelism::serial())
+            .evaluate(&nodes)
+            .unwrap();
         for par in [
             Parallelism::serial(),
             Parallelism::fixed(3),
             Parallelism::auto(),
         ] {
-            let p = evaluate_deployment_with(&f, &nodes, 200.0, &grid, par).unwrap();
+            let p = DeltaEvaluator::new(&f, &grid, 200.0)
+                .parallelism(par)
+                .evaluate(&nodes)
+                .unwrap();
             assert_eq!(serial.delta.to_bits(), p.delta.to_bits(), "{par:?}");
             assert_eq!(serial.rms.to_bits(), p.rms.to_bits(), "{par:?}");
             assert_eq!(serial.connected, p.connected);
             assert_eq!(serial.node_count, p.node_count);
         }
+    }
+
+    #[test]
+    fn cached_evaluation_matches_uncached_across_a_sequence() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let mut cached = DeltaEvaluator::new(&f, &grid, 200.0).cached(true);
+        let mut uncached = DeltaEvaluator::new(&f, &grid, 200.0);
+        let mut nodes: Vec<Point2> = region.corners().to_vec();
+        for p in [
+            Point2::new(37.0, 61.0),
+            Point2::new(70.0, 20.0),
+            Point2::new(12.0, 88.0),
+            Point2::new(55.0, 44.0),
+        ] {
+            nodes.push(p);
+            let a = cached.evaluate(&nodes).unwrap();
+            let b = uncached.evaluate(&nodes).unwrap();
+            assert!(
+                (a.delta - b.delta).abs() <= 1e-9 * b.delta.abs().max(1.0),
+                "delta {} vs {}",
+                a.delta,
+                b.delta
+            );
+            assert!((a.rms - b.rms).abs() <= 1e-9 * b.rms.abs().max(1.0));
+            assert_eq!(a.connected, b.connected);
+            assert_eq!(a.node_count, b.node_count);
+        }
+    }
+
+    #[test]
+    fn cache_detaches_and_reattaches() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let nodes: Vec<Point2> = region
+            .corners()
+            .into_iter()
+            .chain([Point2::new(40.0, 30.0)])
+            .collect();
+        let mut ev = DeltaEvaluator::new(&f, &grid, 200.0).cached(true);
+        let first = ev.evaluate(&nodes).unwrap();
+        let cache = ev.take_cache().expect("cache primed by evaluate");
+        let mut ev2 = DeltaEvaluator::new(&f, &grid, 200.0).with_cache(cache);
+        let second = ev2.evaluate(&nodes).unwrap();
+        assert_eq!(first.delta.to_bits(), second.delta.to_bits());
+    }
+
+    #[test]
+    fn survivor_mask_filters_positions() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let nodes: Vec<Point2> = region
+            .corners()
+            .into_iter()
+            .chain([Point2::new(50.0, 50.0)])
+            .collect();
+        // Mask away the centre: equivalent to evaluating the corners.
+        let e = DeltaEvaluator::new(&f, &grid, 200.0)
+            .survivor_mask(&[true, true, true, true, false])
+            .evaluate(&nodes)
+            .unwrap();
+        let corners = DeltaEvaluator::new(&f, &grid, 200.0)
+            .evaluate(&nodes[..4])
+            .unwrap();
+        assert_eq!(e.delta.to_bits(), corners.delta.to_bits());
+        assert_eq!(e.node_count, 4);
+        // Mask below three nodes: graceful degradation kicks in.
+        let e = DeltaEvaluator::new(&f, &grid, 200.0)
+            .survivor_mask(&[true, false, false, false, true])
+            .evaluate(&nodes)
+            .unwrap();
+        assert!(e.delta.is_finite() && e.delta > 0.0);
+        assert_eq!(e.node_count, 2);
+        // Length mismatch is a parameter error.
+        assert!(matches!(
+            DeltaEvaluator::new(&f, &grid, 200.0)
+                .survivor_mask(&[true, true])
+                .evaluate(&nodes),
+            Err(CoreError::InvalidParameter {
+                name: "survivor_mask",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -242,7 +551,9 @@ mod tests {
             Point2::new(1.0, 0.0),
             Point2::new(99.0, 99.0),
         ];
-        let e = evaluate_deployment(&f, &nodes, 5.0, &grid).unwrap();
+        let e = DeltaEvaluator::new(&f, &grid, 5.0)
+            .evaluate(&nodes)
+            .unwrap();
         assert!(!e.connected);
     }
 
@@ -252,7 +563,7 @@ mod tests {
         let f = PeaksField::new(grid.rect(), 8.0);
         let nodes = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)];
         assert!(matches!(
-            evaluate_deployment(&f, &nodes, 5.0, &grid),
+            DeltaEvaluator::new(&f, &grid, 5.0).evaluate(&nodes),
             Err(CoreError::Field(_))
         ));
     }
@@ -262,8 +573,13 @@ mod tests {
         let (region, grid) = setting();
         let f = PeaksField::new(region, 8.0);
         let nodes: Vec<Point2> = region.corners().to_vec();
-        let full = evaluate_deployment(&f, &nodes, 150.0, &grid).unwrap();
-        let surv = evaluate_survivors(&f, &nodes, 150.0, &grid).unwrap();
+        let full = DeltaEvaluator::new(&f, &grid, 150.0)
+            .evaluate(&nodes)
+            .unwrap();
+        let surv = DeltaEvaluator::new(&f, &grid, 150.0)
+            .survivors(true)
+            .evaluate(&nodes)
+            .unwrap();
         assert_eq!(full.delta.to_bits(), surv.delta.to_bits());
         assert_eq!(full.rms.to_bits(), surv.rms.to_bits());
         assert_eq!(full.connected, surv.connected);
@@ -276,22 +592,63 @@ mod tests {
         // Two survivors: the full evaluation errors, the degraded one
         // measures against the constant surface through their mean.
         let nodes = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
-        assert!(evaluate_deployment(&f, &nodes, 10.0, &grid).is_err());
-        let e = evaluate_survivors(&f, &nodes, 10.0, &grid).unwrap();
+        assert!(DeltaEvaluator::new(&f, &grid, 10.0)
+            .evaluate(&nodes)
+            .is_err());
+        let e = DeltaEvaluator::new(&f, &grid, 10.0)
+            .survivors(true)
+            .evaluate(&nodes)
+            .unwrap();
         assert!(e.delta.is_finite() && e.delta > 0.0);
         assert!(e.connected);
         assert_eq!(e.node_count, 2);
         // Zero survivors: δ against the zero plane — the volume itself.
-        let e = evaluate_survivors(&f, &[], 10.0, &grid).unwrap();
+        let e = DeltaEvaluator::new(&f, &grid, 10.0)
+            .survivors(true)
+            .evaluate(&[])
+            .unwrap();
         assert!(e.delta.is_finite() && e.delta > 0.0);
         assert_eq!(e.node_count, 0);
         // Parallel path is bit-identical.
         let nodes = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
-        let serial = evaluate_survivors(&f, &nodes, 10.0, &grid).unwrap();
+        let serial = DeltaEvaluator::new(&f, &grid, 10.0)
+            .parallelism(Parallelism::serial())
+            .survivors(true)
+            .evaluate(&nodes)
+            .unwrap();
         for par in [Parallelism::fixed(3), Parallelism::auto()] {
-            let p = evaluate_survivors_with(&f, &nodes, 10.0, &grid, par).unwrap();
+            let p = DeltaEvaluator::new(&f, &grid, 10.0)
+                .parallelism(par)
+                .survivors(true)
+                .evaluate(&nodes)
+                .unwrap();
             assert_eq!(serial.delta.to_bits(), p.delta.to_bits(), "{par:?}");
             assert_eq!(serial.rms.to_bits(), p.rms.to_bits(), "{par:?}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_bit_identically() {
+        let (region, grid) = setting();
+        let f = PeaksField::new(region, 8.0);
+        let nodes: Vec<Point2> = region
+            .corners()
+            .into_iter()
+            .chain([Point2::new(33.0, 57.0)])
+            .collect();
+        let new = DeltaEvaluator::new(&f, &grid, 50.0)
+            .parallelism(Parallelism::serial())
+            .evaluate(&nodes)
+            .unwrap();
+        let old = evaluate_deployment(&f, &nodes, 50.0, &grid).unwrap();
+        assert_eq!(new.delta.to_bits(), old.delta.to_bits());
+        let old_par = evaluate_deployment_with(&f, &nodes, 50.0, &grid, Parallelism::fixed(2));
+        assert_eq!(new.delta.to_bits(), old_par.unwrap().delta.to_bits());
+        let two = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
+        let surv = evaluate_survivors(&f, &two, 10.0, &grid).unwrap();
+        let surv_par =
+            evaluate_survivors_with(&f, &two, 10.0, &grid, Parallelism::fixed(2)).unwrap();
+        assert_eq!(surv.delta.to_bits(), surv_par.delta.to_bits());
     }
 }

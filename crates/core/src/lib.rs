@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use cps_core::osd::FraBuilder;
-//! use cps_core::evaluate_deployment;
+//! use cps_core::DeltaEvaluator;
 //! use cps_field::PeaksField;
 //! use cps_geometry::{GridSpec, Rect};
 //!
@@ -40,7 +40,9 @@
 //!     .run(&reference)
 //!     .unwrap();
 //! assert_eq!(result.positions.len(), 30);
-//! let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid).unwrap();
+//! let eval = DeltaEvaluator::new(&reference, &grid, 10.0)
+//!     .evaluate(&result.positions)
+//!     .unwrap();
 //! assert!(eval.connected);
 //! ```
 
@@ -59,10 +61,11 @@ mod report;
 pub use config::CpsConfig;
 pub use coverage::{coverage_histogram, sensing_coverage};
 pub use error::CoreError;
+#[allow(deprecated)]
 pub use evaluate::{
     evaluate_deployment, evaluate_deployment_with, evaluate_survivors, evaluate_survivors_with,
-    DeploymentEvaluation,
 };
+pub use evaluate::{DeltaEvaluator, DeploymentEvaluation, EvalOptions};
 pub use problem::{OsdProblem, OstdProblem};
 pub use report::{
     analyze_deployment, analyze_deployment_with, DeploymentReport, SurvivabilityReport,

@@ -22,12 +22,13 @@
 //! samples makes the greedy systematically blind to border error; see
 //! DESIGN.md for the measurement that motivated the change.
 
-use cps_field::{Field, Parallelism};
+use cps_field::{delta, DeltaCache, Field, Parallelism, ReconstructedSurface};
 use cps_geometry::{GridSpec, Point2, Triangulation};
 use cps_network::{RelayPlan, UnitDiskGraph};
 
 use super::local_error::LocalErrorGrid;
-use crate::CoreError;
+use crate::evaluate::constant_fallback;
+use crate::{CoreError, EvalOptions};
 
 /// Pushes every relay position that does not collide with an
 /// already-chosen position (within the dedup tolerance), stopping once
@@ -59,6 +60,13 @@ pub struct FraResult {
     pub refined: usize,
     /// How many positions were spent on connectivity relays.
     pub relays: usize,
+    /// δ of the evolving reconstruction after each refinement pick
+    /// (one entry per refined node; relays do not change the surface).
+    /// `None` unless [`FraBuilder::track_delta`] was requested. Measured
+    /// through the incremental tile cache when the builder's
+    /// [`EvalOptions::cached`] is on — identical to the full quadrature
+    /// within 1e-9.
+    pub delta_trajectory: Option<Vec<f64>>,
 }
 
 /// Builder for a FRA run.
@@ -84,7 +92,8 @@ pub struct FraBuilder {
     k: usize,
     comm_radius: f64,
     grid: Option<GridSpec>,
-    parallelism: Parallelism,
+    opts: EvalOptions,
+    track_delta: bool,
 }
 
 impl FraBuilder {
@@ -95,7 +104,8 @@ impl FraBuilder {
             k,
             comm_radius,
             grid: None,
-            parallelism: Parallelism::auto(),
+            opts: EvalOptions::default(),
+            track_delta: false,
         }
     }
 
@@ -106,11 +116,32 @@ impl FraBuilder {
         self
     }
 
+    /// Sets the evaluation options shared with [`crate::DeltaEvaluator`]
+    /// and the CMA simulation builder: the thread policy for the
+    /// local-error sweeps, and whether δ tracking goes through the
+    /// incremental tile cache.
+    pub fn evaluator(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
     /// Sets the thread policy for the local-error sweeps (defaults to
     /// [`Parallelism::auto`]). The refinement result is bit-identical at
-    /// any thread count — this only changes wall-clock time.
+    /// any thread count — this only changes wall-clock time. Shorthand
+    /// for [`evaluator`](FraBuilder::evaluator) with only the
+    /// parallelism changed.
     pub fn parallelism(mut self, par: Parallelism) -> Self {
-        self.parallelism = par;
+        self.opts.parallelism = par;
+        self
+    }
+
+    /// Records δ of the evolving reconstruction after every refinement
+    /// pick into [`FraResult::delta_trajectory`]. With
+    /// [`EvalOptions::cached`] on, each step re-integrates only the
+    /// tiles dirtied by the insertion's Delaunay cavity instead of the
+    /// whole grid.
+    pub fn track_delta(mut self, track: bool) -> Self {
+        self.track_delta = track;
         self
     }
 
@@ -145,14 +176,17 @@ impl FraBuilder {
         let mut dt = Triangulation::new(rect);
         let mut zs: Vec<f64> = Vec::new();
 
+        let par = self.opts.parallelism;
         // Lines 2–3: the full local-error array, swept on the parallel
         // evaluation engine (bit-identical at any thread count).
-        let mut errors = LocalErrorGrid::new_with(grid, reference, &dt, &zs, self.parallelism);
+        let mut errors = LocalErrorGrid::new_with(grid, reference, &dt, &zs, par);
 
         let mut chosen: Vec<Point2> = Vec::with_capacity(self.k);
         let mut refined = 0usize;
         let mut relays = 0usize;
-        let obs_threads = self.parallelism.threads();
+        let obs_threads = par.threads();
+        let mut trajectory: Option<Vec<f64>> = self.track_delta.then(Vec::new);
+        let mut cache: Option<DeltaCache> = None;
 
         loop {
             let remaining = self.k - chosen.len();
@@ -267,7 +301,7 @@ impl FraBuilder {
                             reference,
                             &dt,
                             &zs,
-                            self.parallelism,
+                            par,
                         );
                     } else if let Some((lo, hi)) = dt.last_insert_bbox() {
                         cps_obs::count(cps_obs::Counter::CavityRecomputes);
@@ -277,8 +311,11 @@ impl FraBuilder {
                             reference,
                             &dt,
                             &zs,
-                            self.parallelism,
+                            par,
                         );
+                    }
+                    if let Some(traj) = trajectory.as_mut() {
+                        traj.push(self.refinement_delta(reference, &grid, &dt, &zs, &mut cache)?);
                     }
                 }
                 None => {
@@ -314,14 +351,43 @@ impl FraBuilder {
             positions: chosen,
             refined,
             relays,
+            delta_trajectory: trajectory,
         })
+    }
+
+    /// δ of the refinement surface against the reference: the constant
+    /// fallback while fewer than three picks exist, the Delaunay
+    /// reconstruction after. With [`EvalOptions::cached`] on, the tile
+    /// cache re-integrates only the tiles dirtied since the last pick.
+    fn refinement_delta<F: Field + Sync>(
+        &self,
+        reference: &F,
+        grid: &GridSpec,
+        dt: &Triangulation,
+        zs: &[f64],
+        cache: &mut Option<DeltaCache>,
+    ) -> Result<f64, CoreError> {
+        let par = self.opts.parallelism;
+        if dt.vertex_count() < 3 {
+            let plane = constant_fallback(zs);
+            return Ok(delta::volume_difference_with(reference, &plane, grid, par));
+        }
+        let surface = ReconstructedSurface::from_triangulation(dt.clone(), zs.to_vec())?;
+        if self.opts.cached {
+            let c = cache.get_or_insert_with(|| DeltaCache::new(reference, grid, par));
+            Ok(c.refresh(&surface, par).delta)
+        } else {
+            Ok(delta::volume_difference_with(
+                reference, &surface, grid, par,
+            ))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluate_deployment;
+    use crate::DeltaEvaluator;
     use cps_field::{GaussianBlob, GaussianMixtureField, PeaksField};
     use cps_geometry::Rect;
 
@@ -497,12 +563,13 @@ mod tests {
         let f = peaks();
         let g = grid();
         let fra = FraBuilder::new(40, 30.0).grid(g).run(&f).unwrap();
-        let fra_eval = evaluate_deployment(&f, &fra.positions, 30.0, &g).unwrap();
+        let mut ev = DeltaEvaluator::new(&f, &g, 30.0);
+        let fra_eval = ev.evaluate(&fra.positions).unwrap();
         assert!(fra_eval.connected);
         let mut rng = StdRng::seed_from_u64(11);
         let rand_eval = {
             let pts = crate::osd::baselines::random_deployment(region(), 40, &mut rng);
-            evaluate_deployment(&f, &pts, 30.0, &g).unwrap()
+            ev.evaluate(&pts).unwrap()
         };
         assert!(
             fra_eval.delta < 0.7 * rand_eval.delta,
@@ -520,8 +587,12 @@ mod tests {
         let f = peaks();
         let g = grid();
         let fra = FraBuilder::new(40, 10.0).grid(g).run(&f).unwrap();
-        let fra_eval = evaluate_deployment(&f, &fra.positions, 10.0, &g).unwrap();
-        let corners_eval = evaluate_deployment(&f, &region().corners(), 1000.0, &g).unwrap();
+        let fra_eval = DeltaEvaluator::new(&f, &g, 10.0)
+            .evaluate(&fra.positions)
+            .unwrap();
+        let corners_eval = DeltaEvaluator::new(&f, &g, 1000.0)
+            .evaluate(&region().corners())
+            .unwrap();
         assert!(fra_eval.connected);
         assert!(
             fra_eval.delta < corners_eval.delta,
@@ -529,5 +600,38 @@ mod tests {
             fra_eval.delta,
             corners_eval.delta
         );
+    }
+
+    #[test]
+    fn tracked_trajectory_matches_cached_tracking_and_trends_down() {
+        let f = peaks();
+        let full = FraBuilder::new(25, 30.0)
+            .grid(grid())
+            .track_delta(true)
+            .run(&f)
+            .unwrap();
+        let cached = FraBuilder::new(25, 30.0)
+            .grid(grid())
+            .evaluator(EvalOptions::new().cached(true))
+            .track_delta(true)
+            .run(&f)
+            .unwrap();
+        assert_eq!(full.positions, cached.positions);
+        let a = full.delta_trajectory.as_deref().unwrap();
+        let b = cached.delta_trajectory.as_deref().unwrap();
+        assert_eq!(a.len(), full.refined);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x - y).abs() <= 1e-9 * y.abs().max(1.0),
+                "full {x} vs cached {y}"
+            );
+        }
+        // Greedy refinement is not strictly monotone, but the end must
+        // beat the start decisively.
+        assert!(a.last().unwrap() < &(0.5 * a[0]), "trajectory {a:?}");
+        // Untracked runs carry no trajectory.
+        let untracked = FraBuilder::new(10, 30.0).grid(grid()).run(&f).unwrap();
+        assert_eq!(untracked.delta_trajectory, None);
     }
 }

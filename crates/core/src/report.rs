@@ -1,20 +1,19 @@
 //! Full deployment analysis: reconstruction quality plus network
 //! health plus coverage balance, in one report.
 //!
-//! [`evaluate_deployment`](crate::evaluate_deployment) answers the
-//! paper's question (δ and connectivity); this report adds the
-//! operational questions a deployment owner asks next: how fragile is
-//! the network (articulation points), how long are the data paths
-//! (diameter), and how evenly is the region split between nodes
-//! (Voronoi coverage areas)?
+//! [`DeltaEvaluator`](crate::DeltaEvaluator) answers the paper's
+//! question (δ and connectivity); this report adds the operational
+//! questions a deployment owner asks next: how fragile is the network
+//! (articulation points), how long are the data paths (diameter), and
+//! how evenly is the region split between nodes (Voronoi coverage
+//! areas)?
 
 use cps_field::{Field, Parallelism};
 use cps_geometry::{coverage_areas, GridSpec, Point2, Rect, Triangulation};
 use cps_linalg::Summary;
 use cps_network::{articulation_points, criticality, network_diameter, UnitDiskGraph};
 
-use crate::evaluate::evaluate_deployment_with;
-use crate::{evaluate_deployment, CoreError, DeploymentEvaluation};
+use crate::{CoreError, DeltaEvaluator, DeploymentEvaluation};
 
 /// The full analysis of a deployment.
 #[derive(Debug, Clone)]
@@ -51,8 +50,8 @@ impl DeploymentReport {
 ///
 /// # Errors
 ///
-/// Propagates [`evaluate_deployment`] errors (too few nodes, positions
-/// outside the region) and geometry errors from the coverage
+/// Propagates [`DeltaEvaluator::evaluate`] errors (too few nodes,
+/// positions outside the region) and geometry errors from the coverage
 /// computation.
 ///
 /// # Example
@@ -71,14 +70,19 @@ impl DeploymentReport {
 /// assert!(report.evaluation.connected);
 /// assert!((report.coverage_imbalance() - 1.0).abs() < 1e-6); // even grid
 /// ```
-pub fn analyze_deployment<F: Field>(
+pub fn analyze_deployment<F: Field + Sync>(
     reference: &F,
     positions: &[Point2],
     comm_radius: f64,
     grid: &GridSpec,
 ) -> Result<DeploymentReport, CoreError> {
-    let evaluation = evaluate_deployment(reference, positions, comm_radius, grid)?;
-    finish_report(evaluation, positions, comm_radius, grid)
+    analyze_deployment_with(
+        reference,
+        positions,
+        comm_radius,
+        grid,
+        Parallelism::serial(),
+    )
 }
 
 /// Like [`analyze_deployment`], but runs the δ/RMS quadratures on the
@@ -95,7 +99,9 @@ pub fn analyze_deployment_with<F: Field + Sync>(
     grid: &GridSpec,
     par: Parallelism,
 ) -> Result<DeploymentReport, CoreError> {
-    let evaluation = evaluate_deployment_with(reference, positions, comm_radius, grid, par)?;
+    let evaluation = DeltaEvaluator::new(reference, grid, comm_radius)
+        .parallelism(par)
+        .evaluate(positions)?;
     finish_report(evaluation, positions, comm_radius, grid)
 }
 

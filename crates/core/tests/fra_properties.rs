@@ -1,7 +1,7 @@
 //! Property tests on the foresighted refinement algorithm.
 
-use cps_core::evaluate_deployment;
 use cps_core::osd::FraBuilder;
+use cps_core::DeltaEvaluator;
 use cps_field::{GaussianBlob, GaussianMixtureField};
 use cps_geometry::{GridSpec, Point2, Rect};
 use cps_network::UnitDiskGraph;
@@ -81,9 +81,10 @@ proptest! {
         let grid = GridSpec::new(region, 31, 31).unwrap();
         let k = 25;
         let fra = FraBuilder::new(k, 100.0).grid(grid).run(&field).unwrap();
-        let fe = evaluate_deployment(&field, &fra.positions, 100.0, &grid).unwrap();
+        let mut evaluator = DeltaEvaluator::new(&field, &grid, 100.0);
+        let fe = evaluator.evaluate(&fra.positions).unwrap();
         let uniform = cps_core::osd::baselines::uniform_grid_deployment(region, k);
-        let ue = evaluate_deployment(&field, &uniform, 100.0, &grid).unwrap();
+        let ue = evaluator.evaluate(&uniform).unwrap();
         prop_assert!(
             fe.delta <= 2.0 * ue.delta + 1e-6,
             "fra {} vs uniform {}", fe.delta, ue.delta

@@ -29,9 +29,11 @@ use cps_geometry::GridSpec;
 use crate::par::{map_rows, Parallelism};
 use crate::Field;
 
-/// Quadrature weight for grid point `(i, j)`: trapezoidal rule.
+/// Quadrature weight for grid point `(i, j)`: trapezoidal rule. Shared
+/// with the incremental tile cache so both integrate the identical
+/// quadrature.
 #[inline]
-fn weight(grid: &GridSpec, i: usize, j: usize) -> f64 {
+pub(crate) fn weight(grid: &GridSpec, i: usize, j: usize) -> f64 {
     let wx = if i == 0 || i == grid.nx() - 1 {
         0.5
     } else {

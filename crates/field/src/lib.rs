@@ -17,6 +17,9 @@
 //!   samples by Delaunay triangulation ([`ReconstructedSurface`]);
 //! * the paper's quality metric `δ` — the volume difference between two
 //!   surfaces (Eqn. 2) — in [`delta`];
+//! * the incremental δ engine in [`incremental`] ([`DeltaCache`]): a
+//!   tile cache of partial δ integrals that re-integrates only the
+//!   tiles whose reconstruction triangles changed;
 //! * the row-sharded parallel evaluation engine in [`par`]
 //!   ([`Parallelism`]), whose grid sweeps are bit-identical to serial
 //!   at any thread count.
@@ -51,6 +54,7 @@ pub mod delta;
 mod dynamics;
 mod error;
 mod grid;
+pub mod incremental;
 mod noise;
 mod ops;
 pub mod par;
@@ -63,6 +67,7 @@ pub use analytic::{
 pub use dynamics::{DiurnalField, DriftingField, KeyframeField};
 pub use error::FieldError;
 pub use grid::GridField;
+pub use incremental::{DeltaCache, DeltaTotals};
 pub use noise::NoiseField;
 pub use ops::{ClampedField, ScaledField, SumField, TranslatedField};
 pub use par::Parallelism;

@@ -1,0 +1,144 @@
+//! Property tests for the incremental δ engine: through arbitrary
+//! insertion/move sequences the tile cache must (i) track the full
+//! row-order quadrature within 1e-9 and (ii) stay **bit-identical**
+//! across thread counts and invalidation histories.
+
+use cps_field::delta::{rms_difference, volume_difference};
+use cps_field::{
+    DeltaCache, Field, GaussianBlob, GaussianMixtureField, Parallelism, ReconstructedSurface,
+};
+use cps_geometry::{GridSpec, Point2, Rect};
+use proptest::prelude::*;
+
+const SIDE: f64 = 10.0;
+
+fn region() -> Rect {
+    Rect::square(SIDE).unwrap()
+}
+
+/// Random Gaussian-mixture fields: smooth but spatially busy.
+fn blobs_strategy() -> impl Strategy<Value = GaussianMixtureField> {
+    prop::collection::vec((0.5..9.5f64, 0.5..9.5f64, 0.5..3.0f64, -4.0..4.0f64), 1..5).prop_map(
+        |blobs| {
+            GaussianMixtureField::new(
+                0.5,
+                blobs
+                    .into_iter()
+                    .map(|(x, y, sigma, amp)| {
+                        GaussianBlob::isotropic(Point2::new(x, y), sigma, amp)
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+/// An edit sequence: `true` inserts a node at (x, y); `false` moves
+/// an existing non-corner node there.
+fn edits_strategy() -> impl Strategy<Value = Vec<(bool, f64, f64, prop::sample::Index)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            0.5..9.5f64,
+            0.5..9.5f64,
+            any::<prop::sample::Index>(),
+        ),
+        1..8,
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// Applies one edit to the deployment (corners are pinned so the
+/// surface never collapses below three vertices).
+fn apply_edit(points: &mut Vec<Point2>, edit: &(bool, f64, f64, prop::sample::Index)) {
+    let &(insert, x, y, which) = edit;
+    if insert || points.len() <= 4 {
+        points.push(Point2::new(x, y));
+    } else {
+        let i = 4 + which.index(points.len() - 4);
+        points[i] = Point2::new(x, y);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole consistency guarantee: after every insertion or
+    /// move, refreshing the cache agrees with recomputing δ and the
+    /// RMS from scratch.
+    #[test]
+    fn cache_tracks_full_quadrature_through_random_edits(
+        f in blobs_strategy(),
+        initial in prop::collection::vec((0.5..9.5f64, 0.5..9.5f64), 6..14),
+        edits in edits_strategy(),
+        threads in 1..9usize,
+    ) {
+        let grid = GridSpec::new(region(), 41, 37).unwrap();
+        let par = Parallelism::fixed(threads);
+        let mut points: Vec<Point2> = region()
+            .corners()
+            .into_iter()
+            .chain(initial.into_iter().map(|(x, y)| Point2::new(x, y)))
+            .collect();
+        let mut cache = DeltaCache::new(&f, &grid, par);
+        for edit in &edits {
+            apply_edit(&mut points, edit);
+            let samples: Vec<f64> = points.iter().map(|&p| f.value(p)).collect();
+            let surface =
+                ReconstructedSurface::from_samples(region(), &points, &samples).unwrap();
+            let totals = cache.refresh(&surface, par);
+            let full_delta = volume_difference(&f, &surface, &grid);
+            let full_rms = rms_difference(&f, &surface, &grid);
+            prop_assert!(
+                close(totals.delta, full_delta),
+                "delta diverged: cached {} vs full {}",
+                totals.delta,
+                full_delta
+            );
+            prop_assert!(
+                close(totals.rms, full_rms),
+                "rms diverged: cached {} vs full {}",
+                totals.rms,
+                full_rms
+            );
+        }
+    }
+
+    /// Determinism across schedules: the same edit sequence must give
+    /// bit-identical cached δ whether refreshed serially, on two
+    /// threads, or on eight — and regardless of how many tiles each
+    /// refresh happened to dirty.
+    #[test]
+    fn cached_delta_is_bit_identical_across_thread_counts(
+        f in blobs_strategy(),
+        initial in prop::collection::vec((0.5..9.5f64, 0.5..9.5f64), 6..12),
+        edits in edits_strategy(),
+    ) {
+        let grid = GridSpec::new(region(), 33, 29).unwrap();
+        let base: Vec<Point2> = region()
+            .corners()
+            .into_iter()
+            .chain(initial.into_iter().map(|(x, y)| Point2::new(x, y)))
+            .collect();
+        let mut trajectories: Vec<Vec<u64>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::fixed(threads);
+            let mut points = base.clone();
+            let mut cache = DeltaCache::new(&f, &grid, par);
+            let mut bits = Vec::new();
+            for edit in &edits {
+                apply_edit(&mut points, edit);
+                let samples: Vec<f64> = points.iter().map(|&p| f.value(p)).collect();
+                let surface =
+                    ReconstructedSurface::from_samples(region(), &points, &samples).unwrap();
+                bits.push(cache.refresh(&surface, par).delta.to_bits());
+            }
+            trajectories.push(bits);
+        }
+        prop_assert_eq!(&trajectories[0], &trajectories[1]);
+        prop_assert_eq!(&trajectories[0], &trajectories[2]);
+    }
+}

@@ -229,6 +229,28 @@ impl Triangulation {
         )
     }
 
+    /// Visits every real triangle with its vertex triple and geometry,
+    /// without materializing the `Vec` that [`Triangulation::triangles`]
+    /// snapshots.
+    ///
+    /// Dirty-triangle differs (the incremental δ tile cache) walk both
+    /// the previous and the current triangulation on every refresh, so
+    /// the visitor form keeps that path allocation-free.
+    pub fn for_each_triangle<F: FnMut([VertexId; 3], Triangle)>(&self, mut f: F) {
+        for t in self
+            .tris
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| v >= SUPER_VERTS))
+        {
+            let tri = [
+                VertexId(t.v[0] - SUPER_VERTS),
+                VertexId(t.v[1] - SUPER_VERTS),
+                VertexId(t.v[2] - SUPER_VERTS),
+            ];
+            f(tri, self.triangle_geometry(tri));
+        }
+    }
+
     /// Bounding box of the cavity retriangulated by the most recent
     /// successful [`Triangulation::insert`], if any.
     ///

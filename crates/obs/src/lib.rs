@@ -63,11 +63,23 @@ pub enum Counter {
     /// Survivor evaluations that fell back to the constant surface
     /// (fleet culled below the triangulation minimum).
     SurvivorFallbacks,
+    /// δ-cache tiles reused as-is by a refresh (no recomputation).
+    TileCacheHits,
+    /// δ-cache tiles re-integrated by a refresh (initial priming or
+    /// invalidated by a dirty triangle).
+    TileCacheMisses,
+    /// δ-cache tiles flipped valid → invalid by dirty-triangle or
+    /// extrapolation-region invalidation.
+    TileInvalidations,
+    /// δ-cache reference re-primes: the reference field's probe values
+    /// changed (e.g. a time-varying field advanced), forcing a full
+    /// reference sweep and tile rebuild.
+    CacheReprimes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 11] = [
         Counter::DelaunayInserts,
         Counter::CavityRecomputes,
         Counter::FullGridRecomputes,
@@ -75,6 +87,10 @@ impl Counter {
         Counter::RelayReplans,
         Counter::FaultRetries,
         Counter::SurvivorFallbacks,
+        Counter::TileCacheHits,
+        Counter::TileCacheMisses,
+        Counter::TileInvalidations,
+        Counter::CacheReprimes,
     ];
 
     /// Stable snake_case key used in [`RunMetrics`] JSON.
@@ -87,6 +103,10 @@ impl Counter {
             Counter::RelayReplans => "relay_replans",
             Counter::FaultRetries => "fault_retries",
             Counter::SurvivorFallbacks => "survivor_fallbacks",
+            Counter::TileCacheHits => "tile_cache_hits",
+            Counter::TileCacheMisses => "tile_cache_misses",
+            Counter::TileInvalidations => "tile_invalidations",
+            Counter::CacheReprimes => "cache_reprimes",
         }
     }
 }
@@ -113,6 +133,9 @@ pub enum Phase {
     CmaMove,
     /// δ quadrature over the evaluation grid (Eqn. 2).
     DeltaQuadrature,
+    /// Incremental δ refresh: dirty-triangle diff plus re-integration
+    /// of the invalidated tiles only.
+    DeltaTileRefresh,
 }
 
 impl Phase {
@@ -126,6 +149,7 @@ impl Phase {
             Phase::CmaForce => "cma_force",
             Phase::CmaMove => "cma_move",
             Phase::DeltaQuadrature => "delta_quadrature",
+            Phase::DeltaTileRefresh => "delta_tile_refresh",
         }
     }
 }
@@ -133,7 +157,11 @@ impl Phase {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// One slot per [`Counter::ALL`] entry.
-static COUNTERS: [AtomicU64; 7] = [
+static COUNTERS: [AtomicU64; 11] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

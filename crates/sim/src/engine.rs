@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use cps_core::ostd::lcm;
 use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
-use cps_core::{CoreError, CpsConfig};
+use cps_core::{CoreError, CpsConfig, EvalOptions};
 use cps_field::par::map_rows;
 use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::{Point2, Rect};
@@ -100,35 +100,14 @@ pub struct Simulation<F> {
     curvature_scale: f64,
     /// Fault-injection state; `None` runs the pristine fast path.
     fault: Option<FaultRuntime>,
+    /// The δ-evaluation options declared at build time
+    /// ([`CmaBuilder::evaluator`]) for consumers measuring this run
+    /// (e.g. `DeltaTimeline`).
+    eval: EvalOptions,
 }
 
 impl<F: TimeVaryingField + Sync> Simulation<F> {
-    /// Creates a simulation with nodes at `initial_positions`, starting
-    /// the clock at `start_time` (minutes).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidParameter`] when a position lies
-    /// outside `region`, positions are empty, or the time step is not
-    /// positive.
-    #[deprecated(
-        note = "use CmaBuilder::new(region, positions).config(config).start_time(t).run(field)"
-    )]
-    pub fn new(
-        field: F,
-        region: Rect,
-        config: SimConfig,
-        initial_positions: Vec<Point2>,
-        start_time: f64,
-    ) -> Result<Self, CoreError> {
-        CmaBuilder::new(region, initial_positions)
-            .config(config)
-            .start_time(start_time)
-            .run(field)
-    }
-
-    /// The shared constructor behind [`CmaBuilder::run`] (and the
-    /// deprecated [`Simulation::new`]).
+    /// The shared constructor behind [`CmaBuilder::run`].
     fn construct(
         field: F,
         region: Rect,
@@ -136,6 +115,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         initial_positions: Vec<Point2>,
         start_time: f64,
         faults: Option<FaultPlan>,
+        eval: EvalOptions,
     ) -> Result<Self, CoreError> {
         if initial_positions.is_empty() {
             return Err(CoreError::InvalidParameter {
@@ -188,6 +168,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             // deployment happens before the mission clock starts, so
             // slot 0 of the fault schedule applies to the first step().
             fault: faults.map(|plan| FaultRuntime::new(plan, node_count)),
+            eval,
         };
         // Pre-movement sensing pass: every node estimates its initial
         // curvature so the first exchange (and the gossiped
@@ -232,6 +213,12 @@ impl<F: TimeVaryingField> Simulation<F> {
     /// The simulation parameters.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The δ-evaluation options declared on the builder
+    /// ([`CmaBuilder::evaluator`]).
+    pub fn eval_options(&self) -> EvalOptions {
+        self.eval
     }
 
     /// Node states.
@@ -699,6 +686,7 @@ pub struct CmaBuilder {
     config: SimConfig,
     start_time: f64,
     faults: Option<FaultPlan>,
+    eval: EvalOptions,
 }
 
 impl CmaBuilder {
@@ -711,7 +699,21 @@ impl CmaBuilder {
             config: SimConfig::default(),
             start_time: 0.0,
             faults: None,
+            eval: EvalOptions::default(),
         }
+    }
+
+    /// Sets the evaluation options shared with
+    /// [`cps_core::DeltaEvaluator`] and the FRA builder: the thread
+    /// policy (also applied to the per-node sensing phase) and whether
+    /// δ measurements of this run should use the incremental tile
+    /// cache. Consumers read them back via
+    /// [`Simulation::eval_options`] — `DeltaTimeline` does so when
+    /// built with `DeltaTimeline::for_simulation`.
+    pub fn evaluator(mut self, opts: EvalOptions) -> Self {
+        self.config.parallelism = opts.parallelism;
+        self.eval = opts;
+        self
     }
 
     /// Sets the simulation parameters (node capabilities, time step,
@@ -729,9 +731,12 @@ impl CmaBuilder {
     }
 
     /// Sets the thread policy without replacing the rest of the config.
-    /// Step results are bit-identical at any thread count.
+    /// Step results are bit-identical at any thread count. Shorthand
+    /// for [`evaluator`](CmaBuilder::evaluator) with only the
+    /// parallelism changed.
     pub fn parallelism(mut self, par: Parallelism) -> Self {
         self.config.parallelism = par;
+        self.eval.parallelism = par;
         self
     }
 
@@ -760,6 +765,7 @@ impl CmaBuilder {
             self.initial_positions,
             self.start_time,
             self.faults,
+            self.eval,
         )
     }
 }
@@ -805,14 +811,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_builder() {
+    fn builder_carries_eval_options() {
         let f = Static::new(GaussianBlob::isotropic(Point2::new(50.0, 50.0), 50.0, 8.0));
-        let start = vec![Point2::new(40.0, 50.0), Point2::new(60.0, 50.0)];
-        let old = Simulation::new(f, region(), SimConfig::default(), start.clone(), 0.0).unwrap();
-        let new = CmaBuilder::new(region(), start).run(f).unwrap();
-        assert_eq!(old.nodes(), new.nodes());
-        assert_eq!(old.time(), new.time());
+        let opts = EvalOptions::new()
+            .parallelism(Parallelism::fixed(2))
+            .cached(true);
+        let sim = CmaBuilder::new(region(), grid16())
+            .evaluator(opts)
+            .run(f)
+            .unwrap();
+        assert_eq!(sim.eval_options(), opts);
+        assert_eq!(sim.config().parallelism, Parallelism::fixed(2));
     }
 
     #[test]

@@ -1,34 +1,51 @@
 //! Simulation metrics: the δ(t) timeline of Fig. 10 and convergence
 //! detection.
 
-use cps_core::{evaluate_survivors_with, CoreError, DeploymentEvaluation};
-use cps_field::{Parallelism, TimeVaryingField};
+use cps_core::{CoreError, DeltaEvaluator, DeploymentEvaluation, EvalOptions};
+use cps_field::{DeltaCache, Parallelism, TimeVaryingField};
 use cps_geometry::GridSpec;
 
 use crate::{FaultEvent, Simulation};
 
 /// A recorded series of `(time, δ)` samples — the paper's Fig. 10.
 ///
-/// The per-sample δ quadrature runs on the parallel evaluation engine
-/// ([`Parallelism::auto`] by default, see
-/// [`DeltaTimeline::with_parallelism`]); recorded values are
-/// bit-identical at any thread count.
+/// The per-sample δ quadrature runs through
+/// [`cps_core::DeltaEvaluator`] with survivors enabled: a fleet culled
+/// below three nodes degrades to a constant-surface δ instead of
+/// erroring. Options come from [`EvalOptions`]
+/// ([`DeltaTimeline::with_options`]): recorded values are bit-identical
+/// at any thread count, and with the tile cache on, each recording of a
+/// slowly moving swarm re-integrates only the tiles whose
+/// reconstruction triangles changed since the last one (agreement with
+/// the uncached path within 1e-9; the reference must be effectively
+/// static for the cache to pay off — a drifting field re-primes it
+/// every sample).
 ///
 /// When the simulation carries a fault plan, each
 /// [`record`](DeltaTimeline::record) call also copies the fault events
 /// that occurred since the previous recording, so deaths, partitions,
 /// and reconnections line up with the δ(t) series (see
-/// [`DeltaTimeline::events`]). Samples evaluate the *survivors*
-/// ([`cps_core::evaluate_survivors`]): a fleet culled below three nodes
-/// degrades to a constant-surface δ instead of erroring.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// [`DeltaTimeline::events`]).
+#[derive(Debug, Clone, Default)]
 pub struct DeltaTimeline {
     samples: Vec<(f64, DeploymentEvaluation)>,
     events: Vec<FaultEvent>,
     /// How many of the simulation's fault events have been copied into
     /// `events` so far.
     events_synced: usize,
-    par: Parallelism,
+    opts: EvalOptions,
+    /// Tile cache carried across recordings (only with `opts.cached`);
+    /// excluded from equality — it is an accelerator, not a result.
+    cache: Option<DeltaCache>,
+}
+
+impl PartialEq for DeltaTimeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+            && self.events == other.events
+            && self.events_synced == other.events_synced
+            && self.opts == other.opts
+    }
 }
 
 impl DeltaTimeline {
@@ -37,12 +54,23 @@ impl DeltaTimeline {
         DeltaTimeline::default()
     }
 
-    /// An empty timeline whose recordings use the given thread policy.
-    pub fn with_parallelism(par: Parallelism) -> Self {
+    /// An empty timeline recording with the given evaluation options.
+    pub fn with_options(opts: EvalOptions) -> Self {
         DeltaTimeline {
-            par,
+            opts,
             ..DeltaTimeline::default()
         }
+    }
+
+    /// An empty timeline whose recordings use the given thread policy.
+    pub fn with_parallelism(par: Parallelism) -> Self {
+        DeltaTimeline::with_options(EvalOptions::new().parallelism(par))
+    }
+
+    /// An empty timeline adopting the simulation's declared evaluation
+    /// options ([`crate::CmaBuilder::evaluator`]).
+    pub fn for_simulation<F: TimeVaryingField + Sync>(sim: &Simulation<F>) -> Self {
+        DeltaTimeline::with_options(sim.eval_options())
     }
 
     /// Evaluates the simulation *now* — reconstructing the surface from
@@ -51,21 +79,27 @@ impl DeltaTimeline {
     ///
     /// # Errors
     ///
-    /// Propagates [`cps_core::evaluate_survivors`] errors (a position
-    /// outside the grid, an invalid radius — not mere attrition).
+    /// Propagates [`cps_core::DeltaEvaluator::evaluate`] errors (a
+    /// position outside the grid, an invalid radius — not mere
+    /// attrition).
     pub fn record<F: TimeVaryingField + Sync>(
         &mut self,
         sim: &Simulation<F>,
         grid: &GridSpec,
     ) -> Result<DeploymentEvaluation, CoreError> {
         let frozen = sim.field().at_time(sim.time());
-        let eval = evaluate_survivors_with(
-            &frozen,
-            &sim.positions(),
-            sim.config().cps.comm_radius(),
-            grid,
-            self.par,
-        )?;
+        // The frozen field borrows the simulation, so the evaluator is
+        // rebuilt per recording; the tile cache is what persists.
+        let mut evaluator = DeltaEvaluator::new(&frozen, grid, sim.config().cps.comm_radius())
+            .options(self.opts)
+            .survivors(true);
+        if let Some(cache) = self.cache.take() {
+            evaluator = evaluator.with_cache(cache);
+        }
+        let eval = evaluator.evaluate(&sim.positions())?;
+        if self.opts.cached {
+            self.cache = evaluator.take_cache();
+        }
         let pending = sim.fault_events();
         if pending.len() > self.events_synced {
             self.events
@@ -205,6 +239,40 @@ mod tests {
             let e = timeline.record(&sim, &grid).unwrap();
             assert_eq!(s.delta.to_bits(), e.delta.to_bits(), "{par:?}");
             assert_eq!(s.rms.to_bits(), e.rms.to_bits(), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn cached_timeline_agrees_with_uncached() {
+        let region = Rect::square(100.0).unwrap();
+        let field = Static::new(PeaksField::new(region, 8.0));
+        let start = scenario::grid_start(region, 36);
+        let opts = EvalOptions::new().cached(true);
+        let mut sim = CmaBuilder::new(region, start.clone())
+            .evaluator(opts)
+            .run(field)
+            .unwrap();
+        let grid = GridSpec::new(region, 41, 41).unwrap();
+        let mut cached = DeltaTimeline::for_simulation(&sim);
+        let mut plain = DeltaTimeline::new();
+        for _ in 0..4 {
+            cached.record(&sim, &grid).unwrap();
+            plain.record(&sim, &grid).unwrap();
+            for _ in 0..3 {
+                sim.step().unwrap();
+            }
+        }
+        for ((t1, a), (t2, b)) in cached.samples().iter().zip(plain.samples()) {
+            assert_eq!(t1, t2);
+            assert!(
+                (a.delta - b.delta).abs() <= 1e-9 * b.delta.abs().max(1.0),
+                "cached {} vs uncached {}",
+                a.delta,
+                b.delta
+            );
+            assert!((a.rms - b.rms).abs() <= 1e-9 * b.rms.abs().max(1.0));
+            assert_eq!(a.connected, b.connected);
+            assert_eq!(a.node_count, b.node_count);
         }
     }
 

@@ -140,19 +140,16 @@ pub fn reconstruct_with_path_samples<F: TimeVaryingField>(
 /// # Errors
 ///
 /// Propagates reconstruction errors.
-pub fn path_sampling_gain<F: TimeVaryingField>(
+pub fn path_sampling_gain<F: TimeVaryingField + Sync>(
     sim: &Simulation<F>,
     bank: &PathSampleBank,
     max_age: f64,
     grid: &cps_geometry::GridSpec,
 ) -> Result<(f64, f64), CoreError> {
     let frozen = sim.field().at_time(sim.time());
-    let point_eval = cps_core::evaluate_deployment(
-        &frozen,
-        &sim.positions(),
-        sim.config().cps.comm_radius(),
-        grid,
-    )?;
+    let point_eval = cps_core::DeltaEvaluator::new(&frozen, grid, sim.config().cps.comm_radius())
+        .parallelism(cps_field::Parallelism::serial())
+        .evaluate(&sim.positions())?;
     let enriched = reconstruct_with_path_samples(sim, bank, max_age)?;
     let enriched_delta = cps_field::delta::volume_difference(&frozen, &enriched, grid);
     Ok((point_eval.delta, enriched_delta))

@@ -26,11 +26,14 @@ fn main() -> Result<(), cps::Error> {
         "strategy", "delta", "rms", "connected"
     );
 
+    // One evaluator serves every strategy at this radius.
+    let mut evaluator = DeltaEvaluator::new(&reference, &grid, rc);
+
     // Random scattering (mean over 5 seeds shown for the first seed's
     // connectivity).
     let mut rng = StdRng::seed_from_u64(2);
     let random = baselines::random_deployment(region, k, &mut rng);
-    let e = evaluate_deployment(&reference, &random, rc, &grid)?;
+    let e = evaluator.evaluate(&random)?;
     println!(
         "{:<28} {:>12.1} {:>8.2} {:>11}",
         "random scattering", e.delta, e.rms, e.connected
@@ -38,7 +41,7 @@ fn main() -> Result<(), cps::Error> {
 
     // Uniform grid.
     let uniform = baselines::uniform_grid_deployment(region, k);
-    let e = evaluate_deployment(&reference, &uniform, rc, &grid)?;
+    let e = evaluator.evaluate(&uniform)?;
     println!(
         "{:<28} {:>12.1} {:>8.2} {:>11}",
         "uniform grid", e.delta, e.rms, e.connected
@@ -48,7 +51,7 @@ fn main() -> Result<(), cps::Error> {
     // information; the idealized CWD of the paper's Fig. 3(c)).
     let cfg = CpsConfig::builder().comm_radius(rc).beta(2.0).build()?;
     let cwd = relax_to_cwd(&reference, region, uniform.clone(), &cfg, 60, 1.5)?;
-    let e = evaluate_deployment(&reference, &cwd, rc, &grid)?;
+    let e = evaluator.evaluate(&cwd)?;
     println!(
         "{:<28} {:>12.1} {:>8.2} {:>11}",
         "curvature-weighted (CWD)", e.delta, e.rms, e.connected
@@ -56,7 +59,7 @@ fn main() -> Result<(), cps::Error> {
 
     // FRA (uses the historical reference — the strongest planner here).
     let fra = FraBuilder::new(k, rc).grid(grid).run(&reference)?;
-    let e = evaluate_deployment(&reference, &fra.positions, rc, &grid)?;
+    let e = evaluator.evaluate(&fra.positions)?;
     println!(
         "{:<28} {:>12.1} {:>8.2} {:>11}",
         "FRA (foresighted refinement)", e.delta, e.rms, e.connected

@@ -46,10 +46,11 @@ fn main() -> Result<(), cps::Error> {
     // spatial structure persists, so the plan keeps working.
     for hour in [10u32, 11] {
         let truth = dataset.region_field(region, Channel::Light, hour, 101)?;
-        let planned = evaluate_deployment(&truth, &plan.positions, 10.0, &grid)?;
+        let mut evaluator = DeltaEvaluator::new(&truth, &grid, 10.0);
+        let planned = evaluator.evaluate(&plan.positions)?;
         let mut rng = StdRng::seed_from_u64(1);
         let random = baselines::random_deployment(region, k, &mut rng);
-        let rand_eval = evaluate_deployment(&truth, &random, 10.0, &grid)?;
+        let rand_eval = evaluator.evaluate(&random)?;
         println!(
             "{hour}:00  FRA delta = {:>9.1} (connected: {})   random delta = {:>9.1}",
             planned.delta, planned.connected, rand_eval.delta

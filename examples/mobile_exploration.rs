@@ -62,7 +62,7 @@ fn main() -> Result<(), cps::Error> {
     println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
 
     let frozen = field.at_time(sim.time());
-    let final_eval = evaluate_deployment(&frozen, &sim.positions(), 10.0, &grid)?;
+    let final_eval = DeltaEvaluator::new(&frozen, &grid, 10.0).evaluate(&sim.positions())?;
     let components = UnitDiskGraph::new(sim.positions(), 10.0)?.component_count();
     println!(
         "final: delta {:.1} (started {:.1}), {} network component(s), best seen {:.1}",

@@ -40,7 +40,7 @@ fn main() -> Result<(), cps::Error> {
     println!("what the deployment sees (Delaunay reconstruction):");
     println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 22));
 
-    let eval = evaluate_deployment(&reference, &result.positions, 30.0, &grid)?;
+    let eval = DeltaEvaluator::new(&reference, &grid, 30.0).evaluate(&result.positions)?;
     println!(
         "delta = {:.1} (volume difference, Eqn. 2)   rms = {:.2}   connected = {}",
         eval.delta, eval.rms, eval.connected

@@ -45,7 +45,7 @@
 //!         .grid(grid)
 //!         .parallelism(Parallelism::auto())
 //!         .run(&reference)?;
-//!     let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid)?;
+//!     let eval = DeltaEvaluator::new(&reference, &grid, 10.0).evaluate(&result.positions)?;
 //!     assert!(eval.connected);
 //!     println!("delta = {}", eval.delta);
 //!     Ok(())

@@ -6,19 +6,22 @@
 //!
 //! brings in the region/grid types, the field traits, the two
 //! algorithm builders ([`FraBuilder`] for stationary placement,
-//! [`CmaBuilder`] for the mobile swarm), deployment evaluation, the
-//! thread-count policy [`Parallelism`], the instrumentation layer
-//! (the `obs` module plus its [`RunMetrics`] snapshot), and the
-//! workspace-wide [`Error`](crate::Error). Anything more specialised
-//! stays behind the per-crate modules (`cps::field`, `cps::geometry`,
-//! ...).
+//! [`CmaBuilder`] for the mobile swarm), deployment evaluation
+//! ([`DeltaEvaluator`] and its [`EvalOptions`]), the thread-count
+//! policy [`Parallelism`], the instrumentation layer (the `obs` module
+//! plus its [`RunMetrics`] snapshot), and the workspace-wide
+//! [`Error`](crate::Error). Anything more specialised stays behind the
+//! per-crate modules (`cps::field`, `cps::geometry`, ...).
 
 pub use crate::Error;
 pub use cps_core::osd::{FraBuilder, FraResult};
 pub use cps_core::{
-    analyze_deployment, analyze_deployment_with, evaluate_deployment, evaluate_deployment_with,
-    evaluate_survivors, evaluate_survivors_with, CoreError, DeploymentEvaluation, DeploymentReport,
-    SurvivabilityReport, SurvivabilityTracker,
+    analyze_deployment, analyze_deployment_with, CoreError, DeltaEvaluator, DeploymentEvaluation,
+    DeploymentReport, EvalOptions, SurvivabilityReport, SurvivabilityTracker,
+};
+#[allow(deprecated)] // the legacy quartet stays importable during migration
+pub use cps_core::{
+    evaluate_deployment, evaluate_deployment_with, evaluate_survivors, evaluate_survivors_with,
 };
 pub use cps_field::{Field, Parallelism, ReconstructedSurface, Static, TimeVaryingField};
 pub use cps_geometry::{GridSpec, Point2, Rect};
@@ -43,7 +46,9 @@ mod tests {
             .parallelism(Parallelism::auto())
             .run(&reference)
             .unwrap();
-        let eval = evaluate_deployment(&reference, &result.positions, 10.0, &grid).unwrap();
+        let eval = DeltaEvaluator::new(&reference, &grid, 10.0)
+            .evaluate(&result.positions)
+            .unwrap();
         assert!(eval.connected);
 
         let field = Static::new(cps_field::PeaksField::new(region, 8.0));

@@ -1,0 +1,127 @@
+//! Integration: the incremental δ engine against the full pipeline —
+//! cached and uncached evaluation must agree within 1e-9 through
+//! survivor subsets, fault-injected simulations, and every thread
+//! count.
+
+use cps::core::{DeltaEvaluator, EvalOptions};
+use cps::field::{GaussianBlob, GaussianMixtureField, Parallelism, Static};
+use cps::geometry::{GridSpec, Point2, Rect};
+use cps::sim::{scenario, CmaBuilder, DeltaTimeline, FaultPlan};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * b.abs().max(1.0)
+}
+
+fn bumpy_field() -> GaussianMixtureField {
+    GaussianMixtureField::new(
+        2.0,
+        vec![
+            GaussianBlob::isotropic(Point2::new(30.0, 60.0), 15.0, 6.0),
+            GaussianBlob::isotropic(Point2::new(70.0, 25.0), 12.0, -3.0),
+            GaussianBlob::isotropic(Point2::new(55.0, 80.0), 18.0, 4.0),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Survivor subsets: for random alive-masks over a fixed fleet,
+    /// the cached evaluator (whose tile cache carries state from one
+    /// mask to the next) agrees with fresh full quadratures, at one,
+    /// two, and eight threads.
+    #[test]
+    fn cached_survivor_evaluation_matches_uncached(
+        masks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 36),
+            2..5,
+        ),
+        threads in 1..9usize,
+    ) {
+        let region = Rect::square(100.0).unwrap();
+        let grid = GridSpec::new(region, 41, 41).unwrap();
+        let field = bumpy_field();
+        let fleet = scenario::grid_start(region, 36);
+        let par = Parallelism::fixed(threads);
+        let mut cached = DeltaEvaluator::new(&field, &grid, 25.0)
+            .options(EvalOptions::new().parallelism(par).cached(true))
+            .survivors(true);
+        for mask in masks {
+            let mut uncached = DeltaEvaluator::new(&field, &grid, 25.0)
+                .parallelism(par)
+                .survivors(true)
+                .survivor_mask(&mask);
+            cached = cached.survivor_mask(&mask);
+            let a = cached.evaluate(&fleet).unwrap();
+            let b = uncached.evaluate(&fleet).unwrap();
+            prop_assert!(
+                close(a.delta, b.delta),
+                "delta diverged: cached {} vs uncached {}",
+                a.delta,
+                b.delta
+            );
+            prop_assert!(close(a.rms, b.rms));
+            prop_assert_eq!(a.connected, b.connected);
+            prop_assert_eq!(a.node_count, b.node_count);
+        }
+    }
+}
+
+/// Fault-injected simulation: two identical CMA runs — one recording
+/// its δ timeline through the tile cache, one through full recompute —
+/// must agree at every sampled slot even as nodes die and the fleet
+/// shrinks.
+#[test]
+fn cached_timeline_matches_uncached_under_faults() {
+    let region = Rect::square(100.0).unwrap();
+    let grid = GridSpec::new(region, 41, 41).unwrap();
+    let field = Static::new(bumpy_field());
+    let plan = FaultPlan::builder()
+        .seed(42)
+        .kill(3, 2)
+        .kill(11, 4)
+        .cull(0.1, 6)
+        .link_loss(0.2, 1)
+        .build()
+        .unwrap();
+    let start = scenario::grid_start_spaced(region, 49, 9.3);
+
+    let mut deltas: Vec<Vec<f64>> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let par = Parallelism::fixed(threads);
+        let run = |cached: bool| -> Vec<f64> {
+            let opts = EvalOptions::new().parallelism(par).cached(cached);
+            let mut sim = CmaBuilder::new(region, start.clone())
+                .evaluator(opts)
+                .faults(plan.clone())
+                .run(&field)
+                .unwrap();
+            let mut timeline = DeltaTimeline::for_simulation(&sim);
+            let mut out = vec![timeline.record(&sim, &grid).unwrap().delta];
+            for _ in 0..8 {
+                sim.step().unwrap();
+                out.push(timeline.record(&sim, &grid).unwrap().delta);
+            }
+            out
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        for (slot, (c, u)) in cached.iter().zip(&uncached).enumerate() {
+            assert!(
+                close(*c, *u),
+                "threads {threads} slot {slot}: cached {c} vs uncached {u}"
+            );
+        }
+        deltas.push(uncached);
+    }
+    // The fault schedule is deterministic, so thread count must not
+    // change what happened either.
+    for bits in &deltas[1..] {
+        for (slot, (a, b)) in deltas[0].iter().zip(bits).enumerate() {
+            assert!(close(*a, *b), "slot {slot}: {a} vs {b} across threads");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! noise fields across many seeds.
 
 use cps::core::osd::FraBuilder;
-use cps::core::{analyze_deployment, evaluate_deployment};
+use cps::core::{analyze_deployment, DeltaEvaluator};
 use cps::field::NoiseField;
 use cps::geometry::{GridSpec, Rect};
 use cps::network::UnitDiskGraph;
@@ -20,7 +20,9 @@ fn fra_is_robust_across_noise_seeds() {
         assert_eq!(plan.positions.len(), 30);
         let graph = UnitDiskGraph::new(plan.positions.clone(), 12.0).unwrap();
         assert!(graph.is_connected(), "seed {seed}: disconnected");
-        let eval = evaluate_deployment(&field, &plan.positions, 12.0, &grid).unwrap();
+        let eval = DeltaEvaluator::new(&field, &grid, 12.0)
+            .evaluate(&plan.positions)
+            .unwrap();
         assert!(eval.delta.is_finite() && eval.delta >= 0.0);
     }
 }

@@ -1,8 +1,8 @@
 //! Integration: the full OSD pipeline — trace → reference surface →
 //! FRA plan → reconstruction → δ — spanning every crate.
 
-use cps::core::evaluate_deployment;
 use cps::core::osd::{baselines, FraBuilder};
+use cps::core::DeltaEvaluator;
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::greenorbs::{Channel, Dataset, ForestConfig};
 use cps::network::UnitDiskGraph;
@@ -32,7 +32,8 @@ fn fra_plan_is_feasible_and_beats_random_at_mid_budget() {
     assert_eq!(plan.positions.len(), k);
     assert_eq!(plan.refined + plan.relays, k);
 
-    let eval = evaluate_deployment(&reference, &plan.positions, 10.0, &grid).unwrap();
+    let mut evaluator = DeltaEvaluator::new(&reference, &grid, 10.0);
+    let eval = evaluator.evaluate(&plan.positions).unwrap();
     assert!(
         eval.connected,
         "FRA must satisfy the connectivity constraint"
@@ -45,11 +46,7 @@ fn fra_plan_is_feasible_and_beats_random_at_mid_budget() {
     for seed in 0..3 {
         let mut rng = StdRng::seed_from_u64(seed);
         let pts = baselines::random_deployment(region, k, &mut rng);
-        deltas.push(
-            evaluate_deployment(&reference, &pts, 10.0, &grid)
-                .unwrap()
-                .delta,
-        );
+        deltas.push(evaluator.evaluate(&pts).unwrap().delta);
     }
     let random_mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
     assert!(
@@ -74,8 +71,9 @@ fn more_budget_means_no_worse_reconstruction() {
         .grid(grid)
         .run(&reference)
         .unwrap();
-    let es = evaluate_deployment(&reference, &small.positions, 10.0, &grid).unwrap();
-    let el = evaluate_deployment(&reference, &large.positions, 10.0, &grid).unwrap();
+    let mut evaluator = DeltaEvaluator::new(&reference, &grid, 10.0);
+    let es = evaluator.evaluate(&small.positions).unwrap();
+    let el = evaluator.evaluate(&large.positions).unwrap();
     assert!(
         el.delta < es.delta,
         "tripling the budget should reduce delta ({} vs {})",

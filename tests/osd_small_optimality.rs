@@ -2,28 +2,29 @@
 //! algorithm, so FRA is a heuristic — on instances tiny enough to brute
 //! force, its approximation quality can be measured directly.
 
-use cps::core::evaluate_deployment;
 use cps::core::osd::FraBuilder;
+use cps::core::DeltaEvaluator;
 use cps::field::{Field, GaussianBlob, GaussianMixtureField};
 use cps::geometry::{GridSpec, Point2, Rect};
 
 /// Brute-force optimum: δ over every way to choose `k` positions from
 /// the candidate grid that yields a connected deployment.
 fn brute_force_best(
-    field: &impl Field,
+    field: &(impl Field + Sync),
     candidates: &[Point2],
     k: usize,
     rc: f64,
     grid: &GridSpec,
 ) -> f64 {
     assert!(k == 3, "the exhaustive search is written for k = 3");
+    let mut evaluator = DeltaEvaluator::new(field, grid, rc);
     let mut best = f64::INFINITY;
     let n = candidates.len();
     for a in 0..n {
         for b in a + 1..n {
             for c in b + 1..n {
                 let pts = [candidates[a], candidates[b], candidates[c]];
-                if let Ok(eval) = evaluate_deployment(field, &pts, rc, grid) {
+                if let Ok(eval) = evaluator.evaluate(&pts) {
                     if eval.connected {
                         best = best.min(eval.delta);
                     }
@@ -56,7 +57,9 @@ fn fra_is_near_optimal_on_a_brute_forcible_instance() {
         .grid(candidate_grid)
         .run(&field)
         .unwrap();
-    let fra_eval = evaluate_deployment(&field, &fra.positions, rc, &eval_grid_spec).unwrap();
+    let fra_eval = DeltaEvaluator::new(&field, &eval_grid_spec, rc)
+        .evaluate(&fra.positions)
+        .unwrap();
     assert!(fra_eval.connected);
 
     // The greedy heuristic will not always match the optimum, but on a

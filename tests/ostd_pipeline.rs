@@ -1,7 +1,7 @@
 //! Integration: the full OSTD pipeline — latent environment → mobile
 //! simulation with CMA + LCM → δ timeline — spanning every crate.
 
-use cps::core::evaluate_deployment;
+use cps::core::DeltaEvaluator;
 use cps::field::TimeVaryingField;
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::greenorbs::{ForestConfig, LatentLightField};
@@ -99,6 +99,8 @@ fn evaluation_against_the_moving_truth_uses_the_right_instant() {
     let recorded = timeline.record(&sim, &grid).unwrap();
     // Recomputing by hand against the frozen field must agree.
     let frozen = field.at_time(600.0);
-    let manual = evaluate_deployment(&frozen, &start, 10.0, &grid).unwrap();
+    let manual = DeltaEvaluator::new(&frozen, &grid, 10.0)
+        .evaluate(&start)
+        .unwrap();
     assert!((recorded.delta - manual.delta).abs() < 1e-9);
 }

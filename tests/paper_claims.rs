@@ -3,8 +3,8 @@
 //! for the full experiment scale — see EXPERIMENTS.md for those
 //! numbers).
 
-use cps::core::evaluate_deployment;
 use cps::core::osd::{baselines, FraBuilder};
+use cps::core::DeltaEvaluator;
 use cps::geometry::{GridSpec, Point2, Rect};
 use cps::greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
 use cps::sim::{scenario, CmaBuilder, DeltaTimeline};
@@ -37,14 +37,15 @@ fn fra_beats_random_scattering_at_healthy_budgets() {
         .unwrap();
     let grid = GridSpec::new(region(), resolution, resolution).unwrap();
     let fra = FraBuilder::new(k, 10.0).grid(grid).run(&reference).unwrap();
-    let fe = evaluate_deployment(&reference, &fra.positions, 10.0, &grid).unwrap();
+    let mut evaluator = DeltaEvaluator::new(&reference, &grid, 10.0);
+    let fe = evaluator.evaluate(&fra.positions).unwrap();
     assert!(fe.connected);
 
     let mut worse = 0;
     for seed in 0..3u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let pts = baselines::random_deployment(region(), k, &mut rng);
-        let re = evaluate_deployment(&reference, &pts, 10.0, &grid).unwrap();
+        let re = evaluator.evaluate(&pts).unwrap();
         if fe.delta < re.delta {
             worse += 1;
         }
