@@ -17,7 +17,10 @@ fn main() {
     let grid = eval_grid();
 
     println!("=== Fig. 1: referential light surface (100x100 m, 10:00) ===");
-    println!("{}", ascii_heatmap(&surface, &grid, 72, 30));
+    println!(
+        "{}",
+        ascii_heatmap(&surface, &grid, 72, 30).expect("render")
+    );
     let stats = surface.summarize(&grid);
     println!(
         "light (KLux): min {:.2}  max {:.2}  mean {:.2}  std {:.2}",
@@ -32,7 +35,7 @@ fn main() {
     let dir = output_dir();
     fs::write(
         dir.join("fig1_surface.pgm"),
-        field_to_pgm(&surface, &grid, 404, 404),
+        field_to_pgm(&surface, &grid, 404, 404).expect("render"),
     )
     .expect("write pgm");
     let mut csv = String::from("x,y,klux\n");

@@ -44,7 +44,7 @@ fn main() {
         let curv = curvature(pts);
         let metrics = cwd_metrics(pts, &curv, cfg.comm_radius()).expect("metrics");
         println!("\n--- {name} ---");
-        println!("{}", ascii_scatter(pts, region, 50, 20));
+        println!("{}", ascii_scatter(pts, region, 50, 20).expect("render"));
         println!(
             "delta = {:.1}   connected = {}   total |G| = {:.4}   balance residual mean/max = {:.3}/{:.3}",
             eval.delta,

@@ -25,7 +25,10 @@ fn main() {
 
     println!("=== Figs. 5 & 6: FRA-rebuilt surfaces ===");
     println!("reference surface:");
-    println!("{}", ascii_heatmap(&reference, &grid, 60, 24));
+    println!(
+        "{}",
+        ascii_heatmap(&reference, &grid, 60, 24).expect("render")
+    );
 
     for (fig, k) in [("fig5", 30usize), ("fig6", 100)] {
         let result = FraBuilder::new(k, PAPER_RC)
@@ -46,16 +49,22 @@ fn main() {
 
         println!("\n--- {fig}: k = {k} ---");
         println!("topology ({}):", topology_summary(&result.positions));
-        println!("{}", ascii_scatter(&result.positions, region, 60, 24));
+        println!(
+            "{}",
+            ascii_scatter(&result.positions, region, 60, 24).expect("render")
+        );
         println!("rebuilt surface:");
-        println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 24));
+        println!(
+            "{}",
+            ascii_heatmap(&rebuilt, &grid, 60, 24).expect("render")
+        );
         println!(
             "delta = {:.1}   connected = {}   refined = {}   relays = {}",
             eval.delta, eval.connected, result.refined, result.relays
         );
         fs::write(
             dir.join(format!("{fig}_rebuilt.pgm")),
-            field_to_pgm(&rebuilt, &grid, 404, 404),
+            field_to_pgm(&rebuilt, &grid, 404, 404).expect("render"),
         )
         .expect("write pgm");
     }

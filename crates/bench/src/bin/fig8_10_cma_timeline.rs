@@ -35,7 +35,10 @@ fn main() {
 
     println!("=== Figs. 8-10: 100 mobile nodes, 10:00 -> 10:45 ===");
     println!("--- Fig. 8(a): initial grid at 10:00 ---");
-    println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
+    println!(
+        "{}",
+        ascii_scatter(&sim.positions(), region, 50, 20).expect("render")
+    );
 
     let mut timeline = DeltaTimeline::new();
     let mut exploration = ExplorationTracker::new(grid);
@@ -60,7 +63,10 @@ fn main() {
         }
         if minute == 25 {
             println!("--- Fig. 9(a): configuration at 10:25 ---");
-            println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
+            println!(
+                "{}",
+                ascii_scatter(&sim.positions(), region, 50, 20).expect("render")
+            );
         }
     }
 

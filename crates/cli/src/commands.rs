@@ -9,7 +9,10 @@ use cps_field::{Field, Parallelism};
 use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
 use cps_network::UnitDiskGraph;
-use cps_sim::{scenario, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan, TrajectoryRecorder};
+use cps_sim::{
+    scenario, CheckpointDir, CheckpointPolicy, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan,
+    TrajectoryRecorder,
+};
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
 
 use crate::args::Args;
@@ -28,6 +31,8 @@ commands:
             plan a stationary deployment with FRA and report its quality
   simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
             [--faults spec] [--report out.json] [--metrics metrics.json] [--cache on]
+            [--checkpoint-dir DIR] [--checkpoint-every N]
+            [--checkpoint-on-fault on] [--resume on]
             run the CMA mobile swarm on the latent light field; --faults
             injects a deterministic fault schedule (comma-separated
             key=value: seed=N, kill=NODE@SLOT, cull=FRAC@SLOT, death=P,
@@ -48,6 +53,14 @@ per-phase wall-clock timers, off by default) and writes the structured
 RunMetrics JSON after the run; `simulate` embeds the survivability
 report into it. Instrumentation never changes results, only records
 them.
+
+--checkpoint-dir enables crash-safe checkpointing of `simulate`:
+--checkpoint-every N snapshots the full simulation state every N
+minutes, --checkpoint-on-fault on also snapshots on any death,
+partition, or reconnection. --resume on restarts from the newest valid
+snapshot in the directory (corrupt or truncated snapshots are skipped
+automatically) and finishes with results bit-identical to a run that
+was never interrupted.
 
 the region of interest is the paper's 100x100 m window at (20,20)-(120,120).";
 
@@ -103,14 +116,14 @@ pub fn surface(args: &Args) -> CmdResult {
     let field = dataset.region_field(region(), Channel::Light, hour, resolution)?;
     let grid = GridSpec::new(region(), resolution, resolution)?;
     println!("light surface at hour {hour}:");
-    println!("{}", ascii_heatmap(&field, &grid, 72, 28));
+    println!("{}", ascii_heatmap(&field, &grid, 72, 28)?);
     let stats = field.summarize(&grid);
     println!(
         "KLux: min {:.2}  max {:.2}  mean {:.2}  std {:.2}",
         stats.min, stats.max, stats.mean, stats.std_dev
     );
     if !out.is_empty() {
-        fs::write(&out, field_to_pgm(&field, &grid, 404, 404))?;
+        fs::write(&out, field_to_pgm(&field, &grid, 404, 404)?)?;
         println!("wrote {out}");
     }
     Ok(())
@@ -145,7 +158,7 @@ pub fn plan(args: &Args) -> CmdResult {
         "FRA placed {k} nodes: {} refinement picks, {} connectivity relays",
         result.refined, result.relays
     );
-    println!("{}", ascii_scatter(&result.positions, region(), 60, 24));
+    println!("{}", ascii_scatter(&result.positions, region(), 60, 24)?);
 
     let report = analyze_deployment_with(&reference, &result.positions, rc, &grid, par)?;
     print_report(&report);
@@ -171,43 +184,108 @@ pub fn plan(args: &Args) -> CmdResult {
 pub fn simulate(args: &Args) -> CmdResult {
     let k = args.usize_or("k", 100)?;
     let minutes = args.usize_or("minutes", 45)?;
-    let seed = args.u64_or("seed", ForestConfig::default().seed)?;
+    let seed_flag = args.u64_or("seed", ForestConfig::default().seed)?;
     let svg_path = args.string_or("svg", "");
     let faults_spec = args.string_or("faults", "");
     let report_path = args.string_or("report", "");
     let metrics_path = args.string_or("metrics", "");
+    let checkpoint_dir = args.string_or("checkpoint-dir", "");
+    let checkpoint_every = args.u64_or("checkpoint-every", 0)?;
+    let checkpoint_on_fault = args.bool_or("checkpoint-on-fault", false)?;
+    let resume = args.bool_or("resume", false)?;
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     let eval = EvalOptions::new()
         .parallelism(par)
         .cached(args.bool_or("cache", false)?);
     args.finish()?;
 
+    let policy = CheckpointPolicy::every(checkpoint_every).on_fault_event(checkpoint_on_fault);
+    if checkpoint_dir.is_empty() && (policy.is_enabled() || resume) {
+        return Err(
+            "--checkpoint-every, --checkpoint-on-fault, and --resume require --checkpoint-dir"
+                .into(),
+        );
+    }
+    let store = (!checkpoint_dir.is_empty()).then(|| CheckpointDir::new(&checkpoint_dir));
+
     if !metrics_path.is_empty() {
         cps_obs::reset();
         cps_obs::enable();
     }
+    // Fall back through corrupt snapshots to the newest valid one; an
+    // empty directory degrades to a fresh start.
+    let resumed = match (&store, resume) {
+        (Some(store), true) => store.latest_valid()?,
+        _ => None,
+    };
+    // The snapshot's label pins the field: resuming against a different
+    // forest would not be the interrupted run.
+    let seed = match &resumed {
+        Some((snapshot, _)) => snapshot
+            .label
+            .strip_prefix("forest,seed=")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                format!(
+                    "snapshot label {:?} does not identify a forest seed",
+                    snapshot.label
+                )
+            })?,
+        None => seed_flag,
+    };
     let config = ForestConfig {
         seed,
         ..ForestConfig::default()
     };
     let field = LatentLightField::new(&config);
+    let label = format!("forest,seed={seed}");
     let grid = GridSpec::new(region(), 101, 101)?;
-    let start = scenario::grid_start_spaced(region(), k, 9.3);
-    let mut builder = CmaBuilder::new(region(), start)
-        .evaluator(eval)
-        .start_time(600.0);
-    if !faults_spec.is_empty() {
-        builder = builder.faults(FaultPlan::parse(&faults_spec)?);
-    }
-    let mut sim = builder.run(&field)?;
-    let mut timeline = DeltaTimeline::for_simulation(&sim);
+    let (mut sim, mut timeline, mut survivability, start_minute) = match resumed {
+        Some((snapshot, path)) => {
+            let opts = EvalOptions::new()
+                .parallelism(par)
+                .cached(snapshot.eval_cached);
+            let timeline = snapshot
+                .timeline(opts)
+                .unwrap_or_else(|| DeltaTimeline::with_options(opts));
+            let survivability = snapshot
+                .survivability_tracker()
+                .unwrap_or_else(|| SurvivabilityTracker::new(snapshot.node_count()));
+            let sim = CmaBuilder::resume_from(snapshot)
+                .parallelism(par)
+                .run(&field)?;
+            let start_minute = sim.slot() as usize;
+            println!(
+                "resumed from {} at t=10:{start_minute:02} ({} nodes alive)",
+                path.display(),
+                sim.alive_count()
+            );
+            (sim, timeline, survivability, start_minute)
+        }
+        None => {
+            if resume {
+                println!("no valid checkpoint in {checkpoint_dir}; starting fresh");
+            }
+            let start = scenario::grid_start_spaced(region(), k, 9.3);
+            let mut builder = CmaBuilder::new(region(), start)
+                .evaluator(eval)
+                .start_time(600.0);
+            if !faults_spec.is_empty() {
+                builder = builder.faults(FaultPlan::parse(&faults_spec)?);
+            }
+            let sim = builder.run(&field)?;
+            let mut timeline = DeltaTimeline::for_simulation(&sim);
+            let mut survivability = SurvivabilityTracker::new(k);
+            let e0 = timeline.record(&sim, &grid)?;
+            survivability.observe_slot(sim.time(), sim.alive_count(), 1, Some(e0.delta));
+            println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
+            (sim, timeline, survivability, 0)
+        }
+    };
     let mut tracks = TrajectoryRecorder::new();
-    let mut survivability = SurvivabilityTracker::new(k);
     tracks.record(&sim);
-    let e0 = timeline.record(&sim, &grid)?;
-    survivability.observe_slot(sim.time(), sim.alive_count(), 1, Some(e0.delta));
-    println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
-    for minute in 1..=minutes {
+    let mut events_seen = sim.fault_events().len();
+    for minute in (start_minute + 1)..=minutes {
         let r = sim.step()?;
         tracks.record(&sim);
         survivability.observe_messages(r.messages, r.retried, r.dropped);
@@ -230,6 +308,20 @@ pub fn simulate(args: &Args) -> CmdResult {
             None
         };
         survivability.observe_slot(sim.time(), sim.alive_count(), r.components, sampled);
+        if let Some(store) = &store {
+            let fresh_events = sim.fault_events().len() - events_seen;
+            events_seen = sim.fault_events().len();
+            if policy.due(minute as u64, fresh_events) {
+                // Snapshot *after* this minute's records so a resume
+                // continues the report series without gaps.
+                let mut snapshot = sim.checkpoint();
+                snapshot.label = label.clone();
+                snapshot.attach_timeline(&timeline);
+                snapshot.attach_survivability(&survivability);
+                let path = store.store(&snapshot)?;
+                println!("checkpoint: {}", path.display());
+            }
+        }
     }
     let survivability_report = if !faults_spec.is_empty() {
         let survivors = UnitDiskGraph::new(sim.positions(), sim.config().cps.comm_radius())?;
@@ -285,9 +377,11 @@ pub fn simulate(args: &Args) -> CmdResult {
         println!("wrote {metrics_path} (run metrics)");
     }
     println!("final formation:");
-    println!("{}", ascii_scatter(&sim.positions(), region(), 60, 24));
+    println!("{}", ascii_scatter(&sim.positions(), region(), 60, 24)?);
     if !svg_path.is_empty() {
-        let polylines: Vec<Vec<Point2>> = (0..k)
+        // The fleet size comes from the simulation, not the --k flag: a
+        // resumed run inherits the checkpointed fleet.
+        let polylines: Vec<Vec<Point2>> = (0..sim.nodes().len())
             .map(|id| tracks.track(id).iter().map(|&(_, p)| p).collect())
             .collect();
         fs::write(
@@ -397,6 +491,18 @@ mod tests {
     fn usage_mentions_every_subcommand() {
         for cmd in ["generate", "surface", "plan", "simulate", "report"] {
             assert!(USAGE.contains(cmd), "usage must document {cmd}");
+        }
+    }
+
+    #[test]
+    fn usage_documents_checkpointing() {
+        for flag in [
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--checkpoint-on-fault",
+            "--resume",
+        ] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
         }
     }
 }

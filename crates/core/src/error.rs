@@ -28,6 +28,29 @@ pub enum CoreError {
     },
     /// The quadric fit was degenerate (e.g. all samples collinear).
     DegenerateFit,
+    /// A snapshot file could not be read or written.
+    SnapshotIo {
+        /// Path of the offending file (or directory).
+        path: String,
+        /// The underlying I/O failure, rendered as text (kept as a
+        /// `String` so the error stays `Clone + PartialEq`).
+        message: String,
+    },
+    /// A snapshot failed its integrity check: bad magic, a checksum
+    /// mismatch, a truncated payload, or a malformed field.
+    SnapshotCorrupt {
+        /// Path of the offending file (empty for in-memory snapshots).
+        path: String,
+        /// What exactly failed to verify.
+        reason: String,
+    },
+    /// A snapshot was written by an incompatible format version.
+    SnapshotVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
     /// An underlying field operation failed.
     Field(cps_field::FieldError),
     /// An underlying geometric operation failed.
@@ -49,6 +72,22 @@ impl fmt::Display for CoreError {
                 write!(f, "quadric fit needs at least 3 samples, got {count}")
             }
             CoreError::DegenerateFit => write!(f, "quadric fit was degenerate"),
+            CoreError::SnapshotIo { path, message } => {
+                write!(f, "snapshot I/O failed for {path}: {message}")
+            }
+            CoreError::SnapshotCorrupt { path, reason } => {
+                if path.is_empty() {
+                    write!(f, "snapshot corrupt: {reason}")
+                } else {
+                    write!(f, "snapshot {path} corrupt: {reason}")
+                }
+            }
+            CoreError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (newest understood: {supported})"
+                )
+            }
             CoreError::Field(e) => write!(f, "field error: {e}"),
             CoreError::Geometry(e) => write!(f, "geometry error: {e}"),
             CoreError::Network(e) => write!(f, "network error: {e}"),
@@ -88,6 +127,28 @@ impl From<cps_network::NetworkError> for CoreError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_errors_display_their_context() {
+        let io = CoreError::SnapshotIo {
+            path: "/tmp/x.cpsnap".into(),
+            message: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/x.cpsnap"));
+        assert!(io.to_string().contains("permission denied"));
+        let corrupt = CoreError::SnapshotCorrupt {
+            path: String::new(),
+            reason: "checksum mismatch".into(),
+        };
+        assert_eq!(corrupt.to_string(), "snapshot corrupt: checksum mismatch");
+        let version = CoreError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(version.to_string().contains("version 9"));
+        // The snapshot variants stay cloneable and comparable.
+        assert_eq!(corrupt.clone(), corrupt);
+    }
 
     #[test]
     fn display_and_conversions() {

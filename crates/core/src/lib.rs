@@ -69,5 +69,5 @@ pub use evaluate::{DeltaEvaluator, DeploymentEvaluation, EvalOptions};
 pub use problem::{OsdProblem, OstdProblem};
 pub use report::{
     analyze_deployment, analyze_deployment_with, DeploymentReport, SurvivabilityReport,
-    SurvivabilityTracker,
+    SurvivabilityState, SurvivabilityTracker,
 };

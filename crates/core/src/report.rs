@@ -257,6 +257,40 @@ pub struct SurvivabilityTracker {
     critical_nodes: Vec<usize>,
 }
 
+/// The complete mutable state of a [`SurvivabilityTracker`], with every
+/// field public — the serializable face of the tracker, used by
+/// checkpoint/restore so an interrupted run's report picks up exactly
+/// where it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivabilityState {
+    /// Fleet size at deployment.
+    pub initial_nodes: usize,
+    /// Survivor count at the last observed slot.
+    pub last_alive: usize,
+    /// First recorded δ, if any.
+    pub baseline_delta: Option<f64>,
+    /// Last recorded δ, if any.
+    pub final_delta: Option<f64>,
+    /// `(fraction dead, δ)` at every δ sample so far.
+    pub degradation: Vec<(f64, f64)>,
+    /// Partitions opened so far.
+    pub partitions: usize,
+    /// Partitions healed so far.
+    pub reconnects: usize,
+    /// Minutes each healed partition stayed open.
+    pub reconnect_times: Vec<f64>,
+    /// When the currently-open partition started (None when whole).
+    pub partition_open_since: Option<f64>,
+    /// Message attempts so far.
+    pub messages: usize,
+    /// Retried attempts so far.
+    pub retried: usize,
+    /// Dropped directed link-slots so far.
+    pub dropped: usize,
+    /// Articulation points recorded for the final network.
+    pub critical_nodes: Vec<usize>,
+}
+
 impl SurvivabilityTracker {
     /// A tracker for a fleet of `initial_nodes`.
     pub fn new(initial_nodes: usize) -> Self {
@@ -316,6 +350,46 @@ impl SurvivabilityTracker {
     /// Records the articulation points of the final surviving network.
     pub fn set_critical_nodes(&mut self, nodes: Vec<usize>) {
         self.critical_nodes = nodes;
+    }
+
+    /// Copies the tracker's full mutable state (for checkpointing).
+    pub fn state(&self) -> SurvivabilityState {
+        SurvivabilityState {
+            initial_nodes: self.initial_nodes,
+            last_alive: self.last_alive,
+            baseline_delta: self.baseline_delta,
+            final_delta: self.final_delta,
+            degradation: self.degradation.clone(),
+            partitions: self.partitions,
+            reconnects: self.reconnects,
+            reconnect_times: self.reconnect_times.clone(),
+            partition_open_since: self.partition_open_since,
+            messages: self.messages,
+            retried: self.retried,
+            dropped: self.dropped,
+            critical_nodes: self.critical_nodes.clone(),
+        }
+    }
+
+    /// Rebuilds a tracker from a previously captured state; observing
+    /// the same remaining slots yields the same report an uninterrupted
+    /// tracker would produce.
+    pub fn from_state(state: SurvivabilityState) -> Self {
+        SurvivabilityTracker {
+            initial_nodes: state.initial_nodes,
+            last_alive: state.last_alive,
+            baseline_delta: state.baseline_delta,
+            final_delta: state.final_delta,
+            degradation: state.degradation,
+            partitions: state.partitions,
+            reconnects: state.reconnects,
+            reconnect_times: state.reconnect_times,
+            partition_open_since: state.partition_open_since,
+            messages: state.messages,
+            retried: state.retried,
+            dropped: state.dropped,
+            critical_nodes: state.critical_nodes,
+        }
     }
 
     /// Finalizes the report.
@@ -413,6 +487,30 @@ mod tests {
             (78, 5, 1)
         );
         assert_eq!(report.critical_nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn survivability_state_round_trip_matches_uninterrupted() {
+        let feed = |t: &mut SurvivabilityTracker, slots: std::ops::Range<usize>| {
+            for s in slots {
+                let alive = 10 - s.min(3);
+                let comps = if s == 2 { 2 } else { 1 };
+                let delta = (s % 2 == 0).then_some(100.0 + s as f64);
+                t.observe_slot(s as f64, alive, comps, delta);
+                t.observe_messages(30 + s, s, 0);
+            }
+        };
+        let mut whole = SurvivabilityTracker::new(10);
+        feed(&mut whole, 0..8);
+        whole.set_critical_nodes(vec![1, 4]);
+
+        let mut first = SurvivabilityTracker::new(10);
+        feed(&mut first, 0..3); // interrupted mid-partition
+        let mut resumed = SurvivabilityTracker::from_state(first.state());
+        feed(&mut resumed, 3..8);
+        resumed.set_critical_nodes(vec![1, 4]);
+        assert_eq!(whole.state(), resumed.state());
+        assert_eq!(whole.finish(), resumed.finish());
     }
 
     #[test]

@@ -197,11 +197,7 @@ impl Dataset {
                 // Far from every node: fall back to the nearest one.
                 local
                     .iter()
-                    .min_by(|a, b| {
-                        p.distance_squared(a.0)
-                            .partial_cmp(&p.distance_squared(b.0))
-                            .expect("finite distances")
-                    })
+                    .min_by(|a, b| p.distance_squared(a.0).total_cmp(&p.distance_squared(b.0)))
                     .map(|&(_, z)| z)
                     .unwrap_or(0.0)
             }

@@ -20,12 +20,7 @@ impl DailyProfile {
     /// Hour with the highest mean reading, if the trace is non-empty.
     pub fn peak_hour(&self) -> Option<u32> {
         (0..self.per_hour.len())
-            .max_by(|&a, &b| {
-                self.per_hour[a]
-                    .mean
-                    .partial_cmp(&self.per_hour[b].mean)
-                    .expect("finite means")
-            })
+            .max_by(|&a, &b| self.per_hour[a].mean.total_cmp(&self.per_hour[b].mean))
             .map(|h| h as u32)
     }
 }
@@ -78,11 +73,7 @@ impl Dataset {
     pub fn top_nodes(&self, channel: Channel, count: usize) -> Vec<u32> {
         let means = self.node_means(channel);
         let mut ids: Vec<u32> = (0..means.len() as u32).collect();
-        ids.sort_by(|&a, &b| {
-            means[b as usize]
-                .partial_cmp(&means[a as usize])
-                .expect("finite means")
-        });
+        ids.sort_by(|&a, &b| means[b as usize].total_cmp(&means[a as usize]));
         ids.truncate(count);
         ids
     }

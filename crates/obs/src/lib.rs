@@ -75,11 +75,20 @@ pub enum Counter {
     /// changed (e.g. a time-varying field advanced), forcing a full
     /// reference sweep and tile rebuild.
     CacheReprimes,
+    /// Simulation snapshots persisted to a checkpoint directory.
+    CheckpointsWritten,
+    /// Snapshots successfully loaded and verified on restore.
+    CheckpointsLoaded,
+    /// Snapshot candidates rejected on load (bad checksum, truncated
+    /// file, unsupported version) and skipped in favor of an older one.
+    CheckpointsRejected,
+    /// Total bytes of snapshot payloads written.
+    CheckpointBytes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 15] = [
         Counter::DelaunayInserts,
         Counter::CavityRecomputes,
         Counter::FullGridRecomputes,
@@ -91,6 +100,10 @@ impl Counter {
         Counter::TileCacheMisses,
         Counter::TileInvalidations,
         Counter::CacheReprimes,
+        Counter::CheckpointsWritten,
+        Counter::CheckpointsLoaded,
+        Counter::CheckpointsRejected,
+        Counter::CheckpointBytes,
     ];
 
     /// Stable snake_case key used in [`RunMetrics`] JSON.
@@ -107,6 +120,10 @@ impl Counter {
             Counter::TileCacheMisses => "tile_cache_misses",
             Counter::TileInvalidations => "tile_invalidations",
             Counter::CacheReprimes => "cache_reprimes",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::CheckpointsLoaded => "checkpoints_loaded",
+            Counter::CheckpointsRejected => "checkpoints_rejected",
+            Counter::CheckpointBytes => "checkpoint_bytes",
         }
     }
 }
@@ -136,6 +153,9 @@ pub enum Phase {
     /// Incremental δ refresh: dirty-triangle diff plus re-integration
     /// of the invalidated tiles only.
     DeltaTileRefresh,
+    /// Checkpoint persistence: snapshot encoding plus the atomic
+    /// write-checksum-fsync-rename sequence.
+    CheckpointWrite,
 }
 
 impl Phase {
@@ -150,6 +170,7 @@ impl Phase {
             Phase::CmaMove => "cma_move",
             Phase::DeltaQuadrature => "delta_quadrature",
             Phase::DeltaTileRefresh => "delta_tile_refresh",
+            Phase::CheckpointWrite => "checkpoint_write",
         }
     }
 }
@@ -157,7 +178,11 @@ impl Phase {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// One slot per [`Counter::ALL`] entry.
-static COUNTERS: [AtomicU64; 11] = [
+static COUNTERS: [AtomicU64; 15] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -10,6 +10,7 @@ use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::{Point2, Rect};
 use cps_network::{articulation_points, UnitDiskGraph};
 
+use crate::checkpoint::{FaultState, SimSnapshot};
 use crate::fault::{recovery_overrides, FaultEvent, FaultPlan, FaultRuntime, SensorFault};
 
 /// Simulation parameters.
@@ -95,6 +96,9 @@ pub struct Simulation<F> {
     cma: CmaConfig,
     nodes: Vec<MobileNode>,
     time: f64,
+    /// Slots stepped since construction (the checkpointable clock: the
+    /// fault schedule and every per-slot RNG stream are indexed by it).
+    slot: u64,
     /// Decaying running maximum of observed node curvatures — the
     /// gossiped normalization reference fed to every CMA step.
     curvature_scale: f64,
@@ -163,6 +167,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             config,
             nodes,
             time: start_time,
+            slot: 0,
             curvature_scale: 0.0,
             // The initial sensing pass below is deliberately fault-free:
             // deployment happens before the mission clock starts, so
@@ -197,12 +202,157 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
             .fold(0.0, f64::max);
         Ok(sim)
     }
+
+    /// The shared restore path behind [`CmaBuilder::resume_from`]:
+    /// rebuilds a simulation from a checkpoint *without* the initial
+    /// sensing pass — the snapshot already carries the sensed
+    /// curvatures and the gossiped normalization scale, so re-sensing
+    /// would diverge from the uninterrupted run.
+    fn restore(
+        field: F,
+        snapshot: SimSnapshot,
+        parallelism: Parallelism,
+        eval: EvalOptions,
+    ) -> Result<Self, CoreError> {
+        fn bad(reason: String) -> CoreError {
+            CoreError::SnapshotCorrupt {
+                path: String::new(),
+                reason,
+            }
+        }
+        let cps = CpsConfig::builder()
+            .comm_radius(snapshot.comm_radius)
+            .sensing_radius(snapshot.sensing_radius)
+            .max_speed(snapshot.max_speed)
+            .beta(snapshot.beta)
+            .build()?;
+        let config = SimConfig {
+            cps,
+            time_step: snapshot.time_step,
+            sense_spacing: snapshot.sense_spacing,
+            parallelism,
+        };
+        if !config.time_step.is_finite() || config.time_step <= 0.0 {
+            return Err(bad("time_step must be positive and finite".to_string()));
+        }
+        if !config.sense_spacing.is_finite()
+            || config.sense_spacing <= 0.0
+            || config.sense_spacing > cps.sensing_radius()
+        {
+            return Err(bad(
+                "sense_spacing must be positive and within the sensing radius".to_string(),
+            ));
+        }
+        if snapshot.nodes.is_empty() {
+            return Err(bad("snapshot carries no nodes".to_string()));
+        }
+        // The engine indexes `nodes` by stable id.
+        if snapshot.nodes.iter().enumerate().any(|(i, n)| n.id != i) {
+            return Err(bad("node ids must be dense and in order".to_string()));
+        }
+        if snapshot
+            .nodes
+            .iter()
+            .any(|n| n.alive && !snapshot.region.contains(n.position))
+        {
+            return Err(bad("an alive node lies outside the region".to_string()));
+        }
+        if let Some(f) = &snapshot.fault {
+            if f.stuck.len() != snapshot.nodes.len() {
+                return Err(bad(format!(
+                    "stuck-sensor table covers {} nodes, fleet has {}",
+                    f.stuck.len(),
+                    snapshot.nodes.len()
+                )));
+            }
+            let expect_energy = if f.plan.battery.is_some() {
+                snapshot.nodes.len()
+            } else {
+                0
+            };
+            if f.energy.len() != expect_energy {
+                return Err(bad(format!(
+                    "energy table covers {} nodes, expected {expect_energy}",
+                    f.energy.len()
+                )));
+            }
+        }
+        Ok(Simulation {
+            field,
+            region: snapshot.region,
+            cma: snapshot.cma,
+            config,
+            nodes: snapshot.nodes,
+            time: snapshot.time,
+            slot: snapshot.slot,
+            curvature_scale: snapshot.curvature_scale,
+            fault: snapshot.fault.map(|f| {
+                FaultRuntime::restore(
+                    f.plan,
+                    f.slot,
+                    f.energy,
+                    f.stuck,
+                    f.events,
+                    f.partition_since,
+                    f.deaths_total,
+                    f.retried_total,
+                    f.dropped_total,
+                )
+            }),
+            eval,
+        })
+    }
 }
 
 impl<F: TimeVaryingField> Simulation<F> {
     /// Current simulation time, minutes.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Slots stepped since construction. A checkpoint taken *now*
+    /// resumes with this slot as the next one to run.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Captures the complete engine state as a [`SimSnapshot`]:
+    /// restoring it (with the same field) and stepping on is
+    /// bit-identical to never having stopped, at any thread count,
+    /// cache on or off. The field itself is not captured — attach how
+    /// to rebuild it via [`SimSnapshot::label`] — and neither are
+    /// app-level recorders; see [`SimSnapshot::attach_timeline`] and
+    /// [`SimSnapshot::attach_survivability`].
+    pub fn checkpoint(&self) -> SimSnapshot {
+        SimSnapshot {
+            label: String::new(),
+            slot: self.slot,
+            time: self.time,
+            time_step: self.config.time_step,
+            sense_spacing: self.config.sense_spacing,
+            comm_radius: self.config.cps.comm_radius(),
+            sensing_radius: self.config.cps.sensing_radius(),
+            max_speed: self.config.cps.max_speed(),
+            beta: self.config.cps.beta(),
+            cma: self.cma,
+            region: self.region,
+            curvature_scale: self.curvature_scale,
+            eval_cached: self.eval.cached,
+            nodes: self.nodes.clone(),
+            fault: self.fault.as_ref().map(|rt| FaultState {
+                plan: rt.plan.clone(),
+                slot: rt.slot,
+                energy: rt.energy().to_vec(),
+                stuck: rt.stuck().to_vec(),
+                events: rt.events.clone(),
+                partition_since: rt.partition_since(),
+                deaths_total: rt.deaths_total,
+                retried_total: rt.retried_total,
+                dropped_total: rt.dropped_total,
+            }),
+            timeline: None,
+            survivability: None,
+        }
     }
 
     /// The region of interest.
@@ -612,6 +762,7 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         }
         drop(_apply_timer);
         self.time += self.config.time_step;
+        self.slot += 1;
         // Update the gossiped curvature reference: running maximum with
         // a slow decay so the scale tracks the evolving field.
         let observed = self
@@ -647,12 +798,25 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
     /// Steps until the clock reaches `t_end` (minutes), returning the
     /// last report (or `None` when no step was taken).
     ///
+    /// The step count is computed up front from the remaining span with
+    /// a *relative* tolerance, rather than re-testing the accumulating
+    /// clock against an absolute epsilon each slot: at large absolute
+    /// times (long missions, epoch-based clocks) the float error of
+    /// repeated `time += Δt` exceeds any fixed epsilon and the old test
+    /// would skip the boundary step.
+    ///
     /// # Errors
     ///
     /// Propagates [`Simulation::step`] errors.
     pub fn run_until(&mut self, t_end: f64) -> Result<Option<StepReport>, CoreError> {
+        let span = t_end - self.time;
+        let ratio = span / self.config.time_step;
+        if !ratio.is_finite() {
+            return Ok(None);
+        }
+        let steps = (ratio * (1.0 + 1e-12) + 1e-9).floor() as u64;
         let mut last = None;
-        while self.time + self.config.time_step <= t_end + 1e-9 {
+        for _ in 0..steps {
             last = Some(self.step()?);
         }
         Ok(last)
@@ -687,6 +851,9 @@ pub struct CmaBuilder {
     start_time: f64,
     faults: Option<FaultPlan>,
     eval: EvalOptions,
+    /// A checkpoint to resume instead of constructing fresh (boxed:
+    /// snapshots dwarf the rest of the builder).
+    resume: Option<Box<SimSnapshot>>,
 }
 
 impl CmaBuilder {
@@ -700,7 +867,31 @@ impl CmaBuilder {
             start_time: 0.0,
             faults: None,
             eval: EvalOptions::default(),
+            resume: None,
         }
+    }
+
+    /// Creates a builder that resumes `snapshot` instead of deploying
+    /// fresh: [`run`](CmaBuilder::run) rebuilds the engine exactly as
+    /// checkpointed (clock, slot cursor, fleet, CMA overrides, fault
+    /// state) and skips the initial sensing pass. Stepping on is
+    /// bit-identical to the uninterrupted run when given the same
+    /// field.
+    ///
+    /// The thread policy defaults to [`Parallelism::auto`] and may be
+    /// overridden with [`parallelism`](CmaBuilder::parallelism) or
+    /// [`evaluator`](CmaBuilder::evaluator) — results do not depend on
+    /// it. Whether δ evaluation uses the tile cache is restored from
+    /// the snapshot (also overridable). Deployment-time settings
+    /// ([`config`](CmaBuilder::config),
+    /// [`start_time`](CmaBuilder::start_time),
+    /// [`faults`](CmaBuilder::faults)) are ignored on resume: the
+    /// snapshot is authoritative.
+    pub fn resume_from(snapshot: SimSnapshot) -> Self {
+        let mut builder = CmaBuilder::new(snapshot.region, Vec::new());
+        builder.eval.cached = snapshot.eval_cached;
+        builder.resume = Some(Box::new(snapshot));
+        builder
     }
 
     /// Sets the evaluation options shared with
@@ -756,8 +947,14 @@ impl CmaBuilder {
     ///
     /// Returns [`CoreError::InvalidParameter`] when a position lies
     /// outside the region, positions are empty, the time step is not
-    /// positive, or the sensing lattice is invalid.
+    /// positive, or the sensing lattice is invalid. On a
+    /// [`resume_from`](CmaBuilder::resume_from) builder, returns
+    /// [`CoreError::SnapshotCorrupt`] when the snapshot is internally
+    /// inconsistent (e.g. fault tables not matching the fleet size).
     pub fn run<F: TimeVaryingField + Sync>(self, field: F) -> Result<Simulation<F>, CoreError> {
+        if let Some(snapshot) = self.resume {
+            return Simulation::restore(field, *snapshot, self.config.parallelism, self.eval);
+        }
         Simulation::construct(
             field,
             self.region,
@@ -892,6 +1089,110 @@ mod tests {
         assert_eq!(sim.time(), 605.0);
         assert!(sim.nodes().iter().any(|n| n.traveled > 0.0));
         assert!(sim.nodes().iter().all(|n| n.traveled <= 5.0 + 1e-9));
+    }
+
+    #[test]
+    fn run_until_takes_the_boundary_step_at_large_times() {
+        // Regression: the old loop tested the accumulating clock
+        // against an absolute 1e-9 epsilon; at clock magnitudes where
+        // one ulp exceeds that epsilon, drift from repeated
+        // `time += 0.1` skipped the final step. One year in minutes
+        // with dt = 0.1 (not representable in binary) reproduces it.
+        let f = Static::new(PlaneField::new(0.0, 0.0, 3.0));
+        let t0 = 525_600.0 * 1024.0;
+        let dt = SimConfig {
+            time_step: 0.1,
+            ..SimConfig::default()
+        };
+        let mut sim = CmaBuilder::new(region(), vec![Point2::new(50.0, 50.0)])
+            .config(dt)
+            .start_time(t0)
+            .run(f)
+            .unwrap();
+        sim.run_until(t0 + 5.0).unwrap();
+        assert_eq!(sim.slot(), 50, "all 50 slots must run, drift or not");
+        // And the small-time semantics are unchanged.
+        let f = Static::new(PlaneField::new(0.0, 0.0, 3.0));
+        let mut sim = CmaBuilder::new(region(), vec![Point2::new(50.0, 50.0)])
+            .start_time(600.0)
+            .run(f)
+            .unwrap();
+        sim.run_until(605.0).unwrap();
+        assert_eq!((sim.slot(), sim.time()), (5, 605.0));
+        assert!(sim.run_until(605.0).unwrap().is_none(), "already there");
+        assert!(sim.run_until(0.0).unwrap().is_none(), "past target");
+        assert!(sim.run_until(f64::NAN).unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_mid_fault_plan() {
+        let f = Static::new(PeaksField::new(region(), 8.0));
+        let start = crate::scenario::grid_start(region(), 36);
+        let plan =
+            FaultPlan::parse("seed=11,kill=5@9,death=0.004,loss=0.15:2,stuck=0.02:4").unwrap();
+        let mut reference = CmaBuilder::new(region(), start.clone())
+            .start_time(600.0)
+            .faults(plan.clone())
+            .run(f)
+            .unwrap();
+        let f = Static::new(PeaksField::new(region(), 8.0));
+        let mut interrupted = CmaBuilder::new(region(), start)
+            .start_time(600.0)
+            .faults(plan)
+            .run(f)
+            .unwrap();
+        // Checkpoint mid-run — inside the fault schedule, before the
+        // slot-9 scheduled kill — then "crash" and resume via bytes.
+        for _ in 0..7 {
+            reference.step().unwrap();
+            interrupted.step().unwrap();
+        }
+        let bytes = interrupted.checkpoint().to_bytes().unwrap();
+        drop(interrupted);
+        let snapshot = SimSnapshot::from_bytes(&bytes).unwrap();
+        let f = Static::new(PeaksField::new(region(), 8.0));
+        let mut resumed = CmaBuilder::resume_from(snapshot)
+            .parallelism(Parallelism::fixed(2))
+            .run(f)
+            .unwrap();
+        assert_eq!(resumed.slot(), 7);
+        for _ in 0..8 {
+            let a = reference.step().unwrap();
+            let b = resumed.step().unwrap();
+            assert_eq!(a, b, "step reports must match");
+        }
+        assert_eq!(reference.nodes(), resumed.nodes());
+        assert_eq!(reference.fault_events(), resumed.fault_events());
+        for (a, b) in reference.nodes().iter().zip(resumed.nodes()) {
+            assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+            assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+            assert_eq!(a.curvature.to_bits(), b.curvature.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let f = Static::new(PlaneField::default());
+        let sim = CmaBuilder::new(region(), grid16()).run(f).unwrap();
+        let snap = sim.checkpoint();
+
+        let mut no_nodes = snap.clone();
+        no_nodes.nodes.clear();
+        let f = Static::new(PlaneField::default());
+        assert!(matches!(
+            CmaBuilder::resume_from(no_nodes).run(f),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+
+        let mut shuffled = snap.clone();
+        shuffled.nodes[0].id = 7;
+        let f = Static::new(PlaneField::default());
+        assert!(CmaBuilder::resume_from(shuffled).run(f).is_err());
+
+        let mut bad_cfg = snap;
+        bad_cfg.comm_radius = -1.0;
+        let f = Static::new(PlaneField::default());
+        assert!(CmaBuilder::resume_from(bad_cfg).run(f).is_err());
     }
 
     #[test]

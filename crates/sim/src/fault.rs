@@ -132,19 +132,22 @@ pub enum FaultEvent {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
-    seed: u64,
-    kills: Vec<(u64, usize)>,
-    culls: Vec<(u64, f64)>,
-    death_rate: f64,
-    battery: Option<BatteryModel>,
-    dropout_rate: f64,
-    outlier_rate: f64,
-    outlier_magnitude: f64,
-    stuck_rate: f64,
-    stuck_slots: u64,
-    link_loss: f64,
-    link_retries: u32,
-    recovery: RecoveryPolicy,
+    // Fields are crate-visible for the checkpoint encoder
+    // (`crate::checkpoint`); the decoder rebuilds plans through
+    // `FaultPlanBuilder`, so restored plans re-pass validation.
+    pub(crate) seed: u64,
+    pub(crate) kills: Vec<(u64, usize)>,
+    pub(crate) culls: Vec<(u64, f64)>,
+    pub(crate) death_rate: f64,
+    pub(crate) battery: Option<BatteryModel>,
+    pub(crate) dropout_rate: f64,
+    pub(crate) outlier_rate: f64,
+    pub(crate) outlier_magnitude: f64,
+    pub(crate) stuck_rate: f64,
+    pub(crate) stuck_slots: u64,
+    pub(crate) link_loss: f64,
+    pub(crate) link_retries: u32,
+    pub(crate) recovery: RecoveryPolicy,
 }
 
 impl Default for FaultPlan {
@@ -804,6 +807,53 @@ impl FaultRuntime {
     /// Whether the swarm is currently partitioned.
     pub(crate) fn partitioned(&self) -> bool {
         self.partition_since.is_some()
+    }
+
+    /// Remaining per-node energy (empty without a battery model) — for
+    /// checkpointing.
+    pub(crate) fn energy(&self) -> &[f64] {
+        &self.energy
+    }
+
+    /// Per-node stuck-sensor state `(frozen_time, expiry_slot)` — for
+    /// checkpointing.
+    pub(crate) fn stuck(&self) -> &[Option<(f64, u64)>] {
+        &self.stuck
+    }
+
+    /// The slot the currently-open partition started at, if any — for
+    /// checkpointing.
+    pub(crate) fn partition_since(&self) -> Option<u64> {
+        self.partition_since
+    }
+
+    /// Rebuilds the runtime from checkpointed state. The per-slot
+    /// SplitMix64 streams are derived from `(plan seed, slot)` alone,
+    /// so restoring the slot cursor restores the randomness exactly:
+    /// every future draw matches the uninterrupted run bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        plan: FaultPlan,
+        slot: u64,
+        energy: Vec<f64>,
+        stuck: Vec<Option<(f64, u64)>>,
+        events: Vec<FaultEvent>,
+        partition_since: Option<u64>,
+        deaths_total: usize,
+        retried_total: usize,
+        dropped_total: usize,
+    ) -> Self {
+        FaultRuntime {
+            plan,
+            slot,
+            energy,
+            stuck,
+            events,
+            partition_since,
+            deaths_total,
+            retried_total,
+            dropped_total,
+        }
     }
 }
 

@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 mod engine;
 mod exploration;
 mod fault;
@@ -40,6 +41,9 @@ mod sampling;
 pub mod scenario;
 mod trajectory;
 
+pub use checkpoint::{
+    CheckpointDir, CheckpointPolicy, FaultState, SimSnapshot, TimelineState, SNAPSHOT_VERSION,
+};
 pub use engine::{CmaBuilder, MobileNode, SimConfig, Simulation, StepReport};
 pub use exploration::ExplorationTracker;
 pub use fault::{

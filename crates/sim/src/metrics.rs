@@ -116,6 +116,37 @@ impl DeltaTimeline {
         &self.events
     }
 
+    /// How many of the simulation's fault events have been copied into
+    /// this timeline so far (the checkpointed sync cursor).
+    pub fn events_synced(&self) -> usize {
+        self.events_synced
+    }
+
+    /// Rebuilds a timeline from checkpointed parts. The tile cache is
+    /// deliberately *not* part of the state: it re-primes lazily on the
+    /// first [`record`](DeltaTimeline::record) after a restore, and the
+    /// probe-guarded priming reproduces the uninterrupted run's values
+    /// bit for bit (cache contents are an accelerator, not a result).
+    pub fn from_state(
+        opts: EvalOptions,
+        samples: Vec<(f64, DeploymentEvaluation)>,
+        events: Vec<FaultEvent>,
+        events_synced: usize,
+    ) -> Self {
+        DeltaTimeline {
+            samples,
+            events,
+            events_synced,
+            opts,
+            cache: None,
+        }
+    }
+
+    /// The evaluation options recordings run with.
+    pub fn options(&self) -> EvalOptions {
+        self.opts
+    }
+
     /// The recorded `(time, evaluation)` samples, in record order.
     pub fn samples(&self) -> &[(f64, DeploymentEvaluation)] {
         &self.samples

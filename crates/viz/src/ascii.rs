@@ -3,6 +3,8 @@
 use cps_field::Field;
 use cps_geometry::{GridSpec, Point2, Rect};
 
+use crate::VizError;
+
 /// Density ramp from dark to bright.
 const RAMP: &[u8] = b" .:-=+*#%@";
 
@@ -11,8 +13,23 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 ///
 /// Values are normalized to the field's range over the given grid; a
 /// constant field renders as all-minimum characters.
-pub fn ascii_heatmap<F: Field>(field: &F, grid: &GridSpec, cols: usize, rows: usize) -> String {
-    assert!(cols > 0 && rows > 0, "heatmap needs at least one cell");
+///
+/// # Errors
+///
+/// [`VizError::EmptyCanvas`] when either dimension is zero.
+pub fn ascii_heatmap<F: Field>(
+    field: &F,
+    grid: &GridSpec,
+    cols: usize,
+    rows: usize,
+) -> Result<String, VizError> {
+    if cols == 0 || rows == 0 {
+        return Err(VizError::EmptyCanvas {
+            what: "heatmap",
+            cols,
+            rows,
+        });
+    }
     let rect = grid.rect();
     let samples = field.sample_grid(grid);
     let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -31,13 +48,28 @@ pub fn ascii_heatmap<F: Field>(field: &F, grid: &GridSpec, cols: usize, rows: us
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Renders node positions as an ASCII scatter over `region`
 /// (`*` = one node, digits 2–9 for multiplicity, `#` for ten or more).
-pub fn ascii_scatter(positions: &[Point2], region: Rect, cols: usize, rows: usize) -> String {
-    assert!(cols > 0 && rows > 0, "scatter needs at least one cell");
+///
+/// # Errors
+///
+/// [`VizError::EmptyCanvas`] when either dimension is zero.
+pub fn ascii_scatter(
+    positions: &[Point2],
+    region: Rect,
+    cols: usize,
+    rows: usize,
+) -> Result<String, VizError> {
+    if cols == 0 || rows == 0 {
+        return Err(VizError::EmptyCanvas {
+            what: "scatter",
+            cols,
+            rows,
+        });
+    }
     let mut counts = vec![0usize; cols * rows];
     for p in positions {
         if !region.contains(*p) {
@@ -53,13 +85,13 @@ pub fn ascii_scatter(positions: &[Point2], region: Rect, cols: usize, rows: usiz
             out.push(match counts[r * cols + c] {
                 0 => '.',
                 1 => '*',
-                n @ 2..=9 => std::char::from_digit(n as u32, 10).expect("digit"),
+                n @ 2..=9 => (b'0' + n as u8) as char,
                 _ => '#',
             });
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -71,7 +103,7 @@ mod tests {
     fn heatmap_shape_and_gradient() {
         let region = Rect::square(10.0).unwrap();
         let grid = GridSpec::new(region, 11, 11).unwrap();
-        let art = ascii_heatmap(&PlaneField::new(1.0, 0.0, 0.0), &grid, 20, 5);
+        let art = ascii_heatmap(&PlaneField::new(1.0, 0.0, 0.0), &grid, 20, 5).unwrap();
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines.iter().all(|l| l.len() == 20));
@@ -84,7 +116,7 @@ mod tests {
     fn constant_field_renders_uniformly() {
         let region = Rect::square(10.0).unwrap();
         let grid = GridSpec::new(region, 5, 5).unwrap();
-        let art = ascii_heatmap(&PlaneField::new(0.0, 0.0, 7.0), &grid, 8, 3);
+        let art = ascii_heatmap(&PlaneField::new(0.0, 0.0, 7.0), &grid, 8, 3).unwrap();
         assert!(art.lines().all(|l| l.chars().all(|c| c == ' ')));
     }
 
@@ -97,7 +129,7 @@ mod tests {
             Point2::new(9.0, 9.0),
             Point2::new(50.0, 50.0), // outside, ignored
         ];
-        let art = ascii_scatter(&positions, region, 5, 5);
+        let art = ascii_scatter(&positions, region, 5, 5).unwrap();
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 5);
         // Bottom-left cell (printed last line, first char) holds 2.
@@ -107,9 +139,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one cell")]
-    fn zero_size_panics() {
+    fn zero_size_is_a_typed_error() {
         let region = Rect::square(1.0).unwrap();
-        ascii_scatter(&[], region, 0, 5);
+        match ascii_scatter(&[], region, 0, 5) {
+            Err(VizError::EmptyCanvas { what, cols, rows }) => {
+                assert_eq!(what, "scatter");
+                assert_eq!((cols, rows), (0, 5));
+            }
+            other => panic!("expected EmptyCanvas, got {other:?}"),
+        }
+        let grid = GridSpec::new(region, 3, 3).unwrap();
+        assert!(matches!(
+            ascii_heatmap(&PlaneField::new(0.0, 0.0, 0.0), &grid, 4, 0),
+            Err(VizError::EmptyCanvas {
+                what: "heatmap",
+                ..
+            })
+        ));
     }
 }

@@ -1,14 +1,20 @@
 //! CSV series export for plotting.
 
-use std::io::{self, Write};
+use std::io::Write;
+
+use crate::VizError;
 
 /// Writes a header plus one labelled series per row:
 /// `label,value` lines after a `name,value` header.
 ///
 /// # Errors
 ///
-/// Propagates writer failures.
-pub fn write_series<W: Write>(mut w: W, name: &str, series: &[(String, f64)]) -> io::Result<()> {
+/// [`VizError::Io`] on writer failures.
+pub fn write_series<W: Write>(
+    mut w: W,
+    name: &str,
+    series: &[(String, f64)],
+) -> Result<(), VizError> {
     writeln!(w, "{name},value")?;
     for (label, value) in series {
         writeln!(w, "{label},{value}")?;
@@ -21,13 +27,14 @@ pub fn write_series<W: Write>(mut w: W, name: &str, series: &[(String, f64)]) ->
 ///
 /// # Errors
 ///
-/// Propagates writer failures; errors if rows have inconsistent arity.
+/// [`VizError::Io`] on writer failures; [`VizError::RaggedRow`] if a
+/// row's arity does not match the declared columns.
 pub fn write_xy_series<W: Write>(
     mut w: W,
     x_name: &str,
     y_names: &[&str],
     rows: &[(f64, Vec<f64>)],
-) -> io::Result<()> {
+) -> Result<(), VizError> {
     write!(w, "{x_name}")?;
     for n in y_names {
         write!(w, ",{n}")?;
@@ -35,14 +42,11 @@ pub fn write_xy_series<W: Write>(
     writeln!(w)?;
     for (x, ys) in rows {
         if ys.len() != y_names.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "row for x={x} has {} values, expected {}",
-                    ys.len(),
-                    y_names.len()
-                ),
-            ));
+            return Err(VizError::RaggedRow {
+                x: *x,
+                got: ys.len(),
+                expected: y_names.len(),
+            });
         }
         write!(w, "{x}")?;
         for y in ys {
@@ -88,6 +92,13 @@ mod tests {
     fn xy_table_rejects_ragged_rows() {
         let mut buf = Vec::new();
         let err = write_xy_series(&mut buf, "t", &["a"], &[(0.0, vec![1.0, 2.0])]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(
+            err,
+            VizError::RaggedRow {
+                got: 2,
+                expected: 1,
+                ..
+            }
+        ));
     }
 }

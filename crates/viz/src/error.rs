@@ -1,0 +1,85 @@
+//! Typed rendering errors.
+
+use std::fmt;
+use std::io;
+
+/// Why a rendering or export failed. Replaces the crate's former
+/// panic-on-misuse behavior: a CLI flag or config value flows straight
+/// into canvas sizes, so bad dimensions are an input error, not a bug.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VizError {
+    /// A canvas dimension was zero (`what` names the render).
+    EmptyCanvas {
+        /// Which renderer rejected the dimensions.
+        what: &'static str,
+        /// Requested columns (or pixels of width).
+        cols: usize,
+        /// Requested rows (or pixels of height).
+        rows: usize,
+    },
+    /// A CSV row's value count does not match the declared columns.
+    RaggedRow {
+        /// The row's x value, to locate it.
+        x: f64,
+        /// Values present in the row.
+        got: usize,
+        /// Values the header declares.
+        expected: usize,
+    },
+    /// The underlying writer failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::EmptyCanvas { what, cols, rows } => {
+                write!(f, "{what} needs at least one cell, got {cols}x{rows}")
+            }
+            VizError::RaggedRow { x, got, expected } => {
+                write!(f, "row for x={x} has {got} values, expected {expected}")
+            }
+            VizError::Io(e) => write!(f, "write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VizError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VizError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for VizError {
+    fn from(e: io::Error) -> Self {
+        VizError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = VizError::EmptyCanvas {
+            what: "heatmap",
+            cols: 0,
+            rows: 5,
+        };
+        assert_eq!(e.to_string(), "heatmap needs at least one cell, got 0x5");
+        let e = VizError::RaggedRow {
+            x: 1.5,
+            got: 3,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("x=1.5"));
+        let e = VizError::from(io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

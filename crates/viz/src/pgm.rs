@@ -4,10 +4,27 @@
 use cps_field::Field;
 use cps_geometry::{GridSpec, Point2};
 
+use crate::VizError;
+
 /// Rasterizes a field over the grid's region into a binary 8-bit PGM
 /// image (`P5`), `width × height` pixels, bright = high.
-pub fn field_to_pgm<F: Field>(field: &F, grid: &GridSpec, width: usize, height: usize) -> Vec<u8> {
-    assert!(width > 0 && height > 0, "image needs at least one pixel");
+///
+/// # Errors
+///
+/// [`VizError::EmptyCanvas`] when either dimension is zero.
+pub fn field_to_pgm<F: Field>(
+    field: &F,
+    grid: &GridSpec,
+    width: usize,
+    height: usize,
+) -> Result<Vec<u8>, VizError> {
+    if width == 0 || height == 0 {
+        return Err(VizError::EmptyCanvas {
+            what: "image",
+            cols: width,
+            rows: height,
+        });
+    }
     let rect = grid.rect();
     let samples = field.sample_grid(grid);
     let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -24,7 +41,7 @@ pub fn field_to_pgm<F: Field>(field: &F, grid: &GridSpec, width: usize, height: 
             out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -37,7 +54,7 @@ mod tests {
     fn pgm_header_and_size() {
         let region = Rect::square(10.0).unwrap();
         let grid = GridSpec::new(region, 5, 5).unwrap();
-        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 16, 8);
+        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 16, 8).unwrap();
         let header_end = img.windows(4).position(|w| w == b"255\n").unwrap() + 4;
         assert!(img.starts_with(b"P5\n16 8\n255\n"));
         assert_eq!(img.len() - header_end, 16 * 8);
@@ -47,7 +64,7 @@ mod tests {
     fn gradient_goes_left_to_right() {
         let region = Rect::square(10.0).unwrap();
         let grid = GridSpec::new(region, 5, 5).unwrap();
-        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 10, 1);
+        let img = field_to_pgm(&PlaneField::new(1.0, 0.0, 0.0), &grid, 10, 1).unwrap();
         let pixels = &img[img.len() - 10..];
         assert!(pixels[0] < pixels[9]);
     }

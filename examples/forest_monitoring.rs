@@ -31,7 +31,7 @@ fn main() -> Result<(), cps::Error> {
     // Historical reference: the light surface at 10:00.
     let reference = dataset.region_field(region, Channel::Light, 10, 101)?;
     println!("\nhistorical light surface (10:00):");
-    println!("{}", ascii_heatmap(&reference, &grid, 60, 22));
+    println!("{}", ascii_heatmap(&reference, &grid, 60, 22)?);
 
     // Plan 80 stationary nodes with the paper's parameters (Rc = 10 m).
     let k = 80;
@@ -40,7 +40,7 @@ fn main() -> Result<(), cps::Error> {
         "FRA deployment plan — {}",
         topology_summary(&plan.positions)
     );
-    println!("{}", ascii_scatter(&plan.positions, region, 60, 22));
+    println!("{}", ascii_scatter(&plan.positions, region, 60, 22)?);
 
     // Validate on the planning hour and on a later hour (11:00): the
     // spatial structure persists, so the plan keeps working.

@@ -38,7 +38,7 @@ fn main() -> Result<(), cps::Error> {
     let mut sim = CmaBuilder::new(region, start).run(&field)?;
 
     println!("initial formation:");
-    println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
+    println!("{}", ascii_scatter(&sim.positions(), region, 50, 20)?);
 
     let mut timeline = DeltaTimeline::new();
     let e0 = timeline.record(&sim, &grid)?;
@@ -59,7 +59,7 @@ fn main() -> Result<(), cps::Error> {
     }
 
     println!("\nformation after one hour (denser at the hotspots):");
-    println!("{}", ascii_scatter(&sim.positions(), region, 50, 20));
+    println!("{}", ascii_scatter(&sim.positions(), region, 50, 20)?);
 
     let frozen = field.at_time(sim.time());
     let final_eval = DeltaEvaluator::new(&frozen, &grid, 10.0).evaluate(&sim.positions())?;

@@ -15,7 +15,7 @@ fn main() -> Result<(), cps::Error> {
     let grid = GridSpec::new(region, 101, 101)?;
 
     println!("the real environment:");
-    println!("{}", ascii_heatmap(&reference, &grid, 60, 22));
+    println!("{}", ascii_heatmap(&reference, &grid, 60, 22)?);
 
     // Place 25 nodes with communication radius 30 m using the paper's
     // foresighted refinement algorithm: sample where the current
@@ -28,7 +28,7 @@ fn main() -> Result<(), cps::Error> {
         result.refined,
         result.relays
     );
-    println!("{}", ascii_scatter(&result.positions, region, 60, 22));
+    println!("{}", ascii_scatter(&result.positions, region, 60, 22)?);
 
     // Rebuild the surface from the node samples and compare.
     let samples: Vec<f64> = result
@@ -38,7 +38,7 @@ fn main() -> Result<(), cps::Error> {
         .collect();
     let rebuilt = ReconstructedSurface::from_samples(region, &result.positions, &samples)?;
     println!("what the deployment sees (Delaunay reconstruction):");
-    println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 22));
+    println!("{}", ascii_heatmap(&rebuilt, &grid, 60, 22)?);
 
     let eval = DeltaEvaluator::new(&reference, &grid, 30.0).evaluate(&result.positions)?;
     println!(

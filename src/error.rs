@@ -38,6 +38,8 @@ pub enum Error {
     Trace(cps_greenorbs::TraceError),
     /// From `cps-core`: distribution algorithm failures.
     Core(cps_core::CoreError),
+    /// From `cps-viz`: rendering and figure-export failures.
+    Viz(cps_viz::VizError),
 }
 
 impl fmt::Display for Error {
@@ -49,6 +51,7 @@ impl fmt::Display for Error {
             Error::Network(e) => write!(f, "network: {e}"),
             Error::Trace(e) => write!(f, "trace: {e}"),
             Error::Core(e) => write!(f, "core: {e}"),
+            Error::Viz(e) => write!(f, "viz: {e}"),
         }
     }
 }
@@ -62,6 +65,7 @@ impl StdError for Error {
             Error::Network(e) => Some(e),
             Error::Trace(e) => Some(e),
             Error::Core(e) => Some(e),
+            Error::Viz(e) => Some(e),
         }
     }
 }
@@ -102,6 +106,12 @@ impl From<cps_core::CoreError> for Error {
     }
 }
 
+impl From<cps_viz::VizError> for Error {
+    fn from(e: cps_viz::VizError) -> Self {
+        Error::Viz(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +125,12 @@ mod tests {
             cps_network::NetworkError::InvalidRadius.into(),
             cps_greenorbs::TraceError::EmptyRegion.into(),
             cps_core::CoreError::DegenerateFit.into(),
+            cps_viz::VizError::EmptyCanvas {
+                what: "heatmap",
+                cols: 0,
+                rows: 0,
+            }
+            .into(),
         ];
         for e in &errs {
             assert!(StdError::source(e).is_some(), "{e:?} must expose a source");
@@ -122,6 +138,7 @@ mod tests {
         }
         assert!(errs[0].to_string().starts_with("linalg:"));
         assert!(errs[4].to_string().starts_with("trace:"));
+        assert!(errs[6].to_string().starts_with("viz:"));
     }
 
     #[test]
