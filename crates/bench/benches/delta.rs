@@ -2,7 +2,9 @@
 
 use cps_core::osd::baselines;
 use cps_core::{DeltaEvaluator, EvalOptions};
-use cps_field::{delta, Field, Parallelism, PeaksField, PlaneField, ReconstructedSurface};
+use cps_field::delta::surface_delta_rms_with;
+use cps_field::par::map_rows;
+use cps_field::{delta, Field, Kernel, Parallelism, PeaksField, PlaneField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -99,11 +101,73 @@ fn bench_incremental_move(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raster scanline kernel vs legacy per-cell walk on the full δ+RMS
+/// evaluation, across grid resolutions.
+fn bench_kernels(c: &mut Criterion) {
+    let region = Rect::square(100.0).unwrap();
+    let f = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, 150, &mut rng);
+    let samples: Vec<f64> = nodes.iter().map(|&p| f.value(p)).collect();
+    let g = ReconstructedSurface::from_samples(region, &nodes, &samples).unwrap();
+    let serial = Parallelism::serial();
+    for resolution in [101usize, 201, 401] {
+        let grid = GridSpec::new(region, resolution, resolution).unwrap();
+        let mut group = c.benchmark_group(format!("delta_rms_{resolution}x{resolution}"));
+        group.sample_size(if resolution >= 401 { 10 } else { 20 });
+        for (label, kernel) in [("walk", Kernel::Walk), ("raster", Kernel::Raster)] {
+            group.bench_function(label, |b| {
+                b.iter(|| surface_delta_rms_with(&f, &g, &grid, serial, kernel))
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Pool reuse vs per-call thread spawn on many small row sweeps: the
+/// dispatch overhead the persistent pool exists to eliminate.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    const ROWS: usize = 128;
+    let row_work = |j: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..ROWS {
+            acc += ((i * 31 + j * 17) as f64).sqrt();
+        }
+        acc
+    };
+    let par = Parallelism::fixed(2);
+    let mut group = c.benchmark_group("pool_dispatch_128_rows_2t");
+    group.bench_function("pooled", |b| {
+        b.iter(|| map_rows(ROWS, par, row_work).iter().sum::<f64>())
+    });
+    group.bench_function("spawn_per_call", |b| {
+        b.iter(|| {
+            // The pre-pool dispatch: fresh scoped threads every call.
+            let mut rows: Vec<f64> = vec![0.0; ROWS];
+            let (lo, hi) = rows.split_at_mut(ROWS / 2);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for (j, slot) in hi.iter_mut().enumerate() {
+                        *slot = row_work(ROWS / 2 + j);
+                    }
+                });
+                for (j, slot) in lo.iter_mut().enumerate() {
+                    *slot = row_work(j);
+                }
+            });
+            rows.iter().sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_volume_difference,
     bench_volume_difference_parallel,
     bench_full_evaluation,
-    bench_incremental_move
+    bench_incremental_move,
+    bench_kernels,
+    bench_pool_dispatch
 );
 criterion_main!(benches);

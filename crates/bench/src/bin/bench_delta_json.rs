@@ -1,16 +1,21 @@
 //! Emits `BENCH_delta.json`: wall-clock timings of the δ quadrature
 //! (Eqn. 2) on the row-sharded parallel engine, serial vs 2/4/auto
-//! threads.
+//! threads, plus the raster-vs-walk kernel comparison and the
+//! persistent-pool dispatch overhead.
 //!
 //! The workload is the hot path the engine was built for: δ between an
 //! analytic reference and a Delaunay [`ReconstructedSurface`] (every
-//! grid point costs a triangle walk) on a 201×201 grid with 150 nodes.
-//! Results are checked bit-identical across thread counts before any
-//! timing is reported.
+//! grid point costs a triangle walk — or, on the raster kernel, one
+//! incremental scanline fill per alive triangle) on a 201×201 grid
+//! with 150 nodes. Results are checked bit-identical across thread
+//! counts before any timing is reported, and the two kernels are
+//! cross-checked to within 1e-9.
 //!
 //! Besides the current timings the file carries a `trajectory` array:
-//! one point per recorded run, appended on every invocation, so the
-//! performance history of the repository stays reviewable in-tree.
+//! one point per recorded run (kernel, threads, git SHA, median),
+//! appended on every invocation, so the performance history of the
+//! repository stays reviewable in-tree. Points written by older
+//! schema versions are salvaged field-by-field.
 //!
 //! The `incremental` section times the tile-cached [`DeltaEvaluator`]
 //! against full recompute on a sequence of single-node moves, and
@@ -19,7 +24,7 @@
 //!
 //! Run with: `cargo run --release -p cps-bench --bin bench_delta_json`
 //! (writes `BENCH_delta.json` in the current directory; pass a path to
-//! override and an optional label for the trajectory point).
+//! override and an optional label for the trajectory points).
 
 use std::env;
 use std::fs;
@@ -27,11 +32,14 @@ use std::time::Instant;
 
 use cps_core::osd::baselines;
 use cps_core::{DeltaEvaluator, EvalOptions};
-use cps_field::{delta, Field, Parallelism, PeaksField, ReconstructedSurface};
+use cps_field::delta::surface_delta_rms_with;
+use cps_field::par::map_rows;
+use cps_field::{delta, Field, Kernel, Parallelism, PeaksField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 const NODES: usize = 150;
 const RESOLUTION: usize = 201;
@@ -61,11 +69,32 @@ struct IncrementalEntry {
 }
 
 #[derive(Serialize, Deserialize)]
+struct KernelEntry {
+    resolution: usize,
+    walk_median_ns: u64,
+    raster_median_ns: u64,
+    speedup: f64,
+    rel_diff: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PoolEntry {
+    threads: usize,
+    rows: usize,
+    calls: usize,
+    spawn_median_ns: u64,
+    pooled_median_ns: u64,
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
 struct TrajectoryPoint {
     label: String,
+    git_sha: String,
+    kernel: String,
+    threads: usize,
     delta: f64,
-    serial_median_ns: u64,
-    auto_median_ns: u64,
+    median_ns: u64,
     available_cores: usize,
 }
 
@@ -80,22 +109,81 @@ struct BenchDoc {
     delta: f64,
     bit_identical_across_policies: bool,
     results: Vec<ResultEntry>,
+    raster_vs_walk: Vec<KernelEntry>,
+    pool: PoolEntry,
     incremental: IncrementalEntry,
     trajectory: Vec<TrajectoryPoint>,
 }
 
+/// The repository's short commit SHA, or "unknown" outside a git
+/// checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Salvages the trajectory from a previous `BENCH_delta.json`, if one
-/// exists (older files without the array contribute nothing).
+/// exists. Points are decoded field-by-field so entries written by
+/// older schema versions (no kernel/threads/git_sha) survive: they
+/// were serial walk runs, and read back as such.
 fn previous_trajectory(path: &str) -> Vec<TrajectoryPoint> {
     let Ok(text) = fs::read_to_string(path) else {
         return Vec::new();
     };
-    let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
         return Vec::new();
     };
-    doc.get("trajectory")
-        .and_then(|v| Vec::<TrajectoryPoint>::deserialize(v).ok())
-        .unwrap_or_default()
+    let Some(points) = doc.get("trajectory").and_then(|v| v.as_array()) else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .filter_map(|p| {
+            let s = |k: &str| p.get(k).and_then(|v| v.as_str()).map(str::to_string);
+            let u = |k: &str| p.get(k).and_then(|v| v.as_u64());
+            Some(TrajectoryPoint {
+                label: s("label")?,
+                git_sha: s("git_sha").unwrap_or_else(|| "unknown".to_string()),
+                kernel: s("kernel").unwrap_or_else(|| "walk".to_string()),
+                threads: u("threads").unwrap_or(1) as usize,
+                delta: p.get("delta").and_then(|v| v.as_f64())?,
+                median_ns: u("median_ns").or_else(|| u("serial_median_ns"))?,
+                available_cores: u("available_cores").unwrap_or(1) as usize,
+            })
+        })
+        .collect()
+}
+
+/// Builds the standard workload surface at `resolution`.
+fn workload(resolution: usize) -> (PeaksField, GridSpec, ReconstructedSurface) {
+    let region = Rect::square(100.0).expect("square region");
+    let grid = GridSpec::new(region, resolution, resolution).expect("grid");
+    let reference = PeaksField::new(region, 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = baselines::random_deployment(region, NODES, &mut rng);
+    let samples: Vec<f64> = nodes.iter().map(|&p| reference.value(p)).collect();
+    let rebuilt =
+        ReconstructedSurface::from_samples(region, &nodes, &samples).expect("reconstruction");
+    (reference, grid, rebuilt)
+}
+
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut runs: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    runs[reps / 2]
 }
 
 fn main() {
@@ -104,14 +192,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_delta.json".into());
     let label = env::args().nth(2).unwrap_or_else(|| "local".into());
 
-    let region = Rect::square(100.0).expect("square region");
-    let grid = GridSpec::new(region, RESOLUTION, RESOLUTION).expect("grid");
-    let reference = PeaksField::new(region, 8.0);
-    let mut rng = StdRng::seed_from_u64(5);
-    let nodes = baselines::random_deployment(region, NODES, &mut rng);
-    let samples: Vec<f64> = nodes.iter().map(|&p| reference.value(p)).collect();
-    let rebuilt =
-        ReconstructedSurface::from_samples(region, &nodes, &samples).expect("reconstruction");
+    let (reference, grid, rebuilt) = workload(RESOLUTION);
 
     let policies: [(&'static str, Parallelism); 4] = [
         ("serial", Parallelism::serial()),
@@ -120,8 +201,16 @@ fn main() {
         ("auto", Parallelism::auto()),
     ];
 
-    // Determinism gate: every policy must reproduce the serial bits.
+    // Determinism gate: every policy must reproduce the serial bits,
+    // on both kernels independently.
     let expected = delta::volume_difference(&reference, &rebuilt, &grid);
+    let expected_raster = surface_delta_rms_with(
+        &reference,
+        &rebuilt,
+        &grid,
+        Parallelism::serial(),
+        Kernel::Raster,
+    );
     for (label, par) in policies {
         let got = delta::volume_difference_with(&reference, &rebuilt, &grid, par);
         assert_eq!(
@@ -129,7 +218,18 @@ fn main() {
             got.to_bits(),
             "{label} diverged from serial"
         );
+        let got = surface_delta_rms_with(&reference, &rebuilt, &grid, par, Kernel::Raster);
+        assert_eq!(
+            expected_raster.delta.to_bits(),
+            got.delta.to_bits(),
+            "raster {label} diverged from serial"
+        );
     }
+    assert!(
+        (expected_raster.delta - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+        "kernels disagree: raster {} walk {expected}",
+        expected_raster.delta
+    );
 
     let timings: Vec<(&'static str, usize, u64, u64)> = policies
         .iter()
@@ -150,7 +250,6 @@ fn main() {
         .collect();
 
     let serial_median = timings[0].3;
-    let auto_median = timings[3].3;
     let results: Vec<ResultEntry> = timings
         .iter()
         .map(|&(mode, threads, min_ns, median_ns)| ResultEntry {
@@ -163,14 +262,32 @@ fn main() {
         .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let incremental = bench_incremental(&reference, &grid, region);
+    let raster_vs_walk = bench_kernels();
+    let pool = bench_pool();
+    let incremental = bench_incremental(&reference, &grid, Rect::square(100.0).unwrap());
 
+    let sha = git_sha();
     let mut trajectory = previous_trajectory(&out_path);
     trajectory.push(TrajectoryPoint {
-        label,
+        label: label.clone(),
+        git_sha: sha.clone(),
+        kernel: "walk".to_string(),
+        threads: 1,
         delta: expected,
-        serial_median_ns: serial_median,
-        auto_median_ns: auto_median,
+        median_ns: serial_median,
+        available_cores: cores,
+    });
+    let raster_201 = raster_vs_walk
+        .iter()
+        .find(|e| e.resolution == RESOLUTION)
+        .expect("201 entry");
+    trajectory.push(TrajectoryPoint {
+        label,
+        git_sha: sha,
+        kernel: "raster".to_string(),
+        threads: 1,
+        delta: expected_raster.delta,
+        median_ns: raster_201.raster_median_ns,
         available_cores: cores,
     });
 
@@ -184,6 +301,8 @@ fn main() {
         delta: expected,
         bit_identical_across_policies: true,
         results,
+        raster_vs_walk,
+        pool,
         incremental,
         trajectory,
     };
@@ -202,6 +321,25 @@ fn main() {
             t.speedup_vs_serial
         );
     }
+    for k in &doc.raster_vs_walk {
+        println!(
+            "  {0}x{0}: walk {1:>8.2} ms, raster {2:>8.2} ms (x{3:.2}, rel diff {4:.2e})",
+            k.resolution,
+            k.walk_median_ns as f64 / 1e6,
+            k.raster_median_ns as f64 / 1e6,
+            k.speedup,
+            k.rel_diff,
+        );
+    }
+    println!(
+        "  pool dispatch ({} calls x {} rows, {} threads): spawn {:.2} ms, pooled {:.2} ms (x{:.2})",
+        doc.pool.calls,
+        doc.pool.rows,
+        doc.pool.threads,
+        doc.pool.spawn_median_ns as f64 / 1e6,
+        doc.pool.pooled_median_ns as f64 / 1e6,
+        doc.pool.speedup,
+    );
     let inc = &doc.incremental;
     println!(
         "  incremental ({} moves): uncached {:.2} ms, cached {:.2} ms (x{:.2}); \
@@ -214,6 +352,116 @@ fn main() {
         inc.tile_cache_hits,
         inc.tiles_total,
     );
+}
+
+/// Times the full δ+RMS evaluation — the quantity the evaluator
+/// actually computes — on both kernels across grid resolutions. The
+/// walk pays one point-location walk per grid cell twice (δ sweep and
+/// RMS sweep); the raster kernel fuses both into one scanline pass.
+fn bench_kernels() -> Vec<KernelEntry> {
+    [101usize, 201, 401]
+        .iter()
+        .map(|&resolution| {
+            // The 401² walk is expensive; fewer reps keep the runtime sane.
+            let reps = if resolution >= 401 { 5 } else { REPS };
+            let (reference, grid, rebuilt) = workload(resolution);
+            let serial = Parallelism::serial();
+            let walk = surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Walk);
+            let raster =
+                surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Raster);
+            let rel_diff = (raster.delta - walk.delta).abs() / walk.delta.abs().max(1.0);
+            assert!(rel_diff <= 1e-9, "kernels diverged at {resolution}");
+            for _ in 0..WARMUP {
+                surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Raster);
+            }
+            let raster_median_ns = median_ns(reps, || {
+                surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Raster);
+            });
+            for _ in 0..WARMUP.min(1) {
+                surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Walk);
+            }
+            let walk_median_ns = median_ns(reps, || {
+                surface_delta_rms_with(&reference, &rebuilt, &grid, serial, Kernel::Walk);
+            });
+            KernelEntry {
+                resolution,
+                walk_median_ns,
+                raster_median_ns,
+                speedup: walk_median_ns as f64 / raster_median_ns as f64,
+                rel_diff,
+            }
+        })
+        .collect()
+}
+
+/// Times many small parallel row sweeps through the persistent pool
+/// (what `map_rows` does now) against an inline per-call
+/// `thread::scope` dispatch of the identical chunked workload (what it
+/// did before). The work per call is deliberately small so the
+/// dispatch overhead — thread creation vs queue handoff — dominates.
+fn bench_pool() -> PoolEntry {
+    const ROWS: usize = 128;
+    const CALLS: usize = 50;
+    let row_work = |j: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..ROWS {
+            acc += ((i * 31 + j * 17) as f64).sqrt();
+        }
+        acc
+    };
+    let par = Parallelism::fixed(2);
+
+    let pooled = || {
+        let mut total = 0.0;
+        for _ in 0..CALLS {
+            total += map_rows(ROWS, par, row_work).iter().sum::<f64>();
+        }
+        total
+    };
+    let spawned = || {
+        let mut total = 0.0;
+        for _ in 0..CALLS {
+            // The pre-pool dispatch: fresh scoped threads every call,
+            // same halved row deal, same fold order.
+            let mut rows: Vec<f64> = vec![0.0; ROWS];
+            let (lo, hi) = rows.split_at_mut(ROWS / 2);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for (j, slot) in hi.iter_mut().enumerate() {
+                        *slot = row_work(ROWS / 2 + j);
+                    }
+                });
+                for (j, slot) in lo.iter_mut().enumerate() {
+                    *slot = row_work(j);
+                }
+            });
+            total += rows.iter().sum::<f64>();
+        }
+        total
+    };
+
+    // Warm both paths (the pool spawns its workers on the first call).
+    let a = pooled();
+    let b = spawned();
+    assert!(
+        (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+        "dispatch paths disagree"
+    );
+
+    let pooled_median_ns = median_ns(REPS, || {
+        pooled();
+    });
+    let spawn_median_ns = median_ns(REPS, || {
+        spawned();
+    });
+    PoolEntry {
+        threads: 2,
+        rows: ROWS,
+        calls: CALLS,
+        spawn_median_ns,
+        pooled_median_ns,
+        speedup: spawn_median_ns as f64 / pooled_median_ns as f64,
+    }
 }
 
 /// Times a sequence of single-node moves through the tile-cached

@@ -15,7 +15,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cps_core::osd::baselines;
-use cps_field::{delta, Field, Parallelism, PeaksField, ReconstructedSurface};
+use cps_field::delta::surface_delta_rms_with;
+use cps_field::{delta, Field, Kernel, Parallelism, PeaksField, ReconstructedSurface};
 use cps_geometry::{GridSpec, Rect};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,6 +32,11 @@ const REPS: usize = 21;
 /// is orders of magnitude below it, so a trip means a real regression
 /// (a hook moved into an inner loop, a lock on the hot path, ...).
 const MAX_OVERHEAD: f64 = 1.02;
+
+/// Budget for the pool-enabled raster path. Looser than the serial
+/// guard: with worker threads in play, best-of-N still carries a few
+/// percent of scheduler jitter that has nothing to do with the hooks.
+const MAX_OVERHEAD_POOLED: f64 = 1.05;
 
 fn best_of<F: FnMut() -> f64>(mut work: F) -> u64 {
     for _ in 0..WARMUP {
@@ -83,6 +89,46 @@ fn main() -> ExitCode {
     );
     if ratio > MAX_OVERHEAD {
         eprintln!("instrumentation overhead exceeds the {MAX_OVERHEAD} budget");
+        return ExitCode::FAILURE;
+    }
+
+    // Same guard on the pool-enabled raster path: the hooks it adds
+    // (raster counters, pool-task counter, delta_raster timer) must
+    // also be free when observation is off.
+    let pooled = Parallelism::fixed(2);
+    cps_obs::reset();
+    cps_obs::disable();
+    let disabled_ns = best_of(|| {
+        surface_delta_rms_with(&reference, &rebuilt, &grid, pooled, Kernel::Raster).delta
+    });
+
+    cps_obs::enable();
+    let enabled_ns = best_of(|| {
+        surface_delta_rms_with(&reference, &rebuilt, &grid, pooled, Kernel::Raster).delta
+    });
+    let metrics = cps_obs::snapshot();
+    cps_obs::disable();
+
+    let recorded = metrics.phase_total_ns(cps_obs::Phase::DeltaRaster);
+    assert!(
+        recorded > 0,
+        "enabled run recorded no delta_raster time — hooks are dead"
+    );
+    assert!(
+        metrics.counter(cps_obs::Counter::TrianglesRasterized) > 0,
+        "enabled run rasterized no triangles — hooks are dead"
+    );
+
+    let ratio = enabled_ns as f64 / disabled_ns as f64;
+    println!(
+        "raster kernel (2t pool): disabled {:.3} ms, enabled {:.3} ms, ratio {:.4} (budget {:.2})",
+        disabled_ns as f64 / 1e6,
+        enabled_ns as f64 / 1e6,
+        ratio,
+        MAX_OVERHEAD_POOLED
+    );
+    if ratio > MAX_OVERHEAD_POOLED {
+        eprintln!("instrumentation overhead exceeds the {MAX_OVERHEAD_POOLED} budget");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

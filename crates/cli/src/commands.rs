@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fs;
 
 use cps_core::osd::FraBuilder;
-use cps_core::{analyze_deployment_with, EvalOptions, SurvivabilityTracker};
+use cps_core::{analyze_deployment_with, EvalOptions, Kernel, SurvivabilityTracker};
 use cps_field::{Field, Parallelism};
 use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
@@ -27,11 +27,11 @@ commands:
   surface   --trace trace.json [--hour 10] [--resolution 101] [--out surface.pgm]
             extract and render the referential light surface
   plan      --trace trace.json [--k 80] [--rc 10] [--hour 10] [--out plan.csv] [--threads N]
-            [--metrics metrics.json] [--cache on]
+            [--metrics metrics.json] [--cache on] [--kernel walk|raster]
             plan a stationary deployment with FRA and report its quality
   simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
             [--faults spec] [--report out.json] [--metrics metrics.json] [--cache on]
-            [--checkpoint-dir DIR] [--checkpoint-every N]
+            [--kernel walk|raster] [--checkpoint-dir DIR] [--checkpoint-every N]
             [--checkpoint-on-fault on] [--resume on]
             run the CMA mobile swarm on the latent light field; --faults
             injects a deterministic fault schedule (comma-separated
@@ -46,7 +46,11 @@ commands:
 --threads selects the worker count for grid sweeps (0 = all cores, the
 default); results are identical at any setting. --cache on turns on the
 incremental tile cache for repeated delta evaluations (off by default);
-cached and uncached runs agree to within 1e-9.
+cached and uncached runs agree to within 1e-9. --kernel selects the
+delta quadrature kernel: `raster` (the default) sweeps each alive
+triangle with an incremental scanline fill, `walk` is the legacy
+per-cell point-location sweep; the two agree to within 1e-9 and a
+resumed simulation keeps the kernel recorded in its snapshot.
 
 --metrics turns on the instrumentation layer (algorithm counters and
 per-phase wall-clock timers, off by default) and writes the structured
@@ -65,6 +69,11 @@ was never interrupted.
 the region of interest is the paper's 100x100 m window at (20,20)-(120,120).";
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Parses `--kernel walk|raster` (raster when absent).
+fn kernel_flag(args: &Args) -> Result<Kernel, Box<dyn Error>> {
+    Ok(args.string_or("kernel", "raster").parse::<Kernel>()?)
+}
 
 fn region() -> Rect {
     Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).expect("static region")
@@ -140,7 +149,8 @@ pub fn plan(args: &Args) -> CmdResult {
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     let eval = EvalOptions::new()
         .parallelism(par)
-        .cached(args.bool_or("cache", false)?);
+        .cached(args.bool_or("cache", false)?)
+        .kernel(kernel_flag(args)?);
     args.finish()?;
 
     if !metrics_path.is_empty() {
@@ -196,7 +206,8 @@ pub fn simulate(args: &Args) -> CmdResult {
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     let eval = EvalOptions::new()
         .parallelism(par)
-        .cached(args.bool_or("cache", false)?);
+        .cached(args.bool_or("cache", false)?)
+        .kernel(kernel_flag(args)?);
     args.finish()?;
 
     let policy = CheckpointPolicy::every(checkpoint_every).on_fault_event(checkpoint_on_fault);
@@ -242,9 +253,12 @@ pub fn simulate(args: &Args) -> CmdResult {
     let grid = GridSpec::new(region(), 101, 101)?;
     let (mut sim, mut timeline, mut survivability, start_minute) = match resumed {
         Some((snapshot, path)) => {
+            // Cache and kernel come from the snapshot, not the flags: a
+            // resume must stay on the recorded arithmetic path.
             let opts = EvalOptions::new()
                 .parallelism(par)
-                .cached(snapshot.eval_cached);
+                .cached(snapshot.eval_cached)
+                .kernel(snapshot.eval_kernel);
             let timeline = snapshot
                 .timeline(opts)
                 .unwrap_or_else(|| DeltaTimeline::with_options(opts));
@@ -492,6 +506,12 @@ mod tests {
         for cmd in ["generate", "surface", "plan", "simulate", "report"] {
             assert!(USAGE.contains(cmd), "usage must document {cmd}");
         }
+    }
+
+    #[test]
+    fn usage_documents_the_kernel_flag() {
+        assert!(USAGE.contains("--kernel"));
+        assert!(USAGE.contains("walk|raster"));
     }
 
     #[test]

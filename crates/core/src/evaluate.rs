@@ -8,7 +8,7 @@
 //! free functions remain as thin deprecated shims over it.
 
 use cps_field::{
-    delta, DeltaCache, Field, FieldError, Parallelism, PlaneField, ReconstructedSurface,
+    delta, DeltaCache, Field, FieldError, Kernel, Parallelism, PlaneField, ReconstructedSurface,
 };
 use cps_geometry::{GridSpec, Point2};
 use cps_network::UnitDiskGraph;
@@ -42,10 +42,17 @@ pub struct EvalOptions {
     /// Off by default; pays off when the same evaluator sees a sequence
     /// of slowly changing deployments against a static reference.
     pub cached: bool,
+    /// Which quadrature kernel grid sweeps run:
+    /// [`Kernel::Raster`] (default) planes each alive triangle once and
+    /// DDA-sweeps its row spans; [`Kernel::Walk`] locates the
+    /// containing triangle per grid cell (the original path). Both
+    /// agree within 1e-9 (relative) and each is bit-identical across
+    /// thread counts.
+    pub kernel: Kernel,
 }
 
 impl EvalOptions {
-    /// The defaults: [`Parallelism::auto`], cache off.
+    /// The defaults: [`Parallelism::auto`], cache off, raster kernel.
     pub fn new() -> Self {
         EvalOptions::default()
     }
@@ -61,6 +68,12 @@ impl EvalOptions {
         self.cached = cached;
         self
     }
+
+    /// Selects the quadrature kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 impl Default for EvalOptions {
@@ -68,6 +81,7 @@ impl Default for EvalOptions {
         EvalOptions {
             parallelism: Parallelism::auto(),
             cached: false,
+            kernel: Kernel::Raster,
         }
     }
 }
@@ -154,6 +168,12 @@ impl<'f, F: Field + Sync> DeltaEvaluator<'f, F> {
         self
     }
 
+    /// Selects the quadrature kernel (raster by default).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.opts.kernel = kernel;
+        self
+    }
+
     /// Enables graceful degradation under attrition: with fewer than
     /// three distinct positions the abstraction collapses to the best
     /// constant surface — the mean of the survivor samples (0 with no
@@ -237,10 +257,14 @@ impl<'f, F: Field + Sync> DeltaEvaluator<'f, F> {
                 let (delta, rms) = if self.opts.cached {
                     self.cached_quadrature(&surface)
                 } else {
-                    (
-                        delta::volume_difference_with(self.reference, &surface, &self.grid, par),
-                        delta::rms_difference_with(self.reference, &surface, &self.grid, par),
-                    )
+                    let totals = delta::surface_delta_rms_with(
+                        self.reference,
+                        &surface,
+                        &self.grid,
+                        par,
+                        self.opts.kernel,
+                    );
+                    (totals.delta, totals.rms)
                 };
                 Ok(DeploymentEvaluation {
                     delta,
@@ -278,7 +302,7 @@ impl<'f, F: Field + Sync> DeltaEvaluator<'f, F> {
             }
             _ => DeltaCache::new(self.reference, &self.grid, par),
         };
-        let totals = cache.refresh(surface, par);
+        let totals = cache.refresh_with_kernel(surface, par, self.opts.kernel);
         self.cache = Some(cache);
         (totals.delta, totals.rms)
     }

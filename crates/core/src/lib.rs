@@ -60,6 +60,7 @@ mod report;
 
 pub use config::CpsConfig;
 pub use coverage::{coverage_histogram, sensing_coverage};
+pub use cps_field::Kernel;
 pub use error::CoreError;
 #[allow(deprecated)]
 pub use evaluate::{

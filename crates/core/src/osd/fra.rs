@@ -177,9 +177,10 @@ impl FraBuilder {
         let mut zs: Vec<f64> = Vec::new();
 
         let par = self.opts.parallelism;
+        let kernel = self.opts.kernel;
         // Lines 2–3: the full local-error array, swept on the parallel
         // evaluation engine (bit-identical at any thread count).
-        let mut errors = LocalErrorGrid::new_with(grid, reference, &dt, &zs, par);
+        let mut errors = LocalErrorGrid::new_kernel_with(grid, reference, &dt, &zs, par, kernel);
 
         let mut chosen: Vec<Point2> = Vec::with_capacity(self.k);
         let mut refined = 0usize;
@@ -295,23 +296,25 @@ impl FraBuilder {
                     zs.push(reference.value(p));
                     if hull_grows {
                         cps_obs::count(cps_obs::Counter::FullGridRecomputes);
-                        errors.recompute_region_with(
+                        errors.recompute_region_kernel(
                             rect.min(),
                             rect.max(),
                             reference,
                             &dt,
                             &zs,
                             par,
+                            kernel,
                         );
                     } else if let Some((lo, hi)) = dt.last_insert_bbox() {
                         cps_obs::count(cps_obs::Counter::CavityRecomputes);
-                        errors.recompute_region_with(
+                        errors.recompute_region_kernel(
                             Point2::new(lo.x - margin, lo.y - margin),
                             Point2::new(hi.x + margin, hi.y + margin),
                             reference,
                             &dt,
                             &zs,
                             par,
+                            kernel,
                         );
                     }
                     if let Some(traj) = trajectory.as_mut() {
@@ -375,11 +378,17 @@ impl FraBuilder {
         let surface = ReconstructedSurface::from_triangulation(dt.clone(), zs.to_vec())?;
         if self.opts.cached {
             let c = cache.get_or_insert_with(|| DeltaCache::new(reference, grid, par));
-            Ok(c.refresh(&surface, par).delta)
+            Ok(c.refresh_with_kernel(&surface, par, self.opts.kernel).delta)
         } else {
-            Ok(delta::volume_difference_with(
-                reference, &surface, grid, par,
-            ))
+            Ok(match self.opts.kernel {
+                // The walk path wants δ alone — skip the rms sweep.
+                cps_field::Kernel::Walk => {
+                    delta::volume_difference_with(reference, &surface, grid, par)
+                }
+                cps_field::Kernel::Raster => {
+                    cps_field::raster::delta_rms_raster(reference, &surface, grid, par).delta
+                }
+            })
         }
     }
 }

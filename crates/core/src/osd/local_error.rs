@@ -14,7 +14,8 @@
 //! error arrays at any thread count.
 
 use cps_field::par::{map_rows, Parallelism};
-use cps_field::Field;
+use cps_field::raster::NO_OWNER;
+use cps_field::{Field, Kernel, RasterPlan};
 use cps_geometry::{GridSpec, LocateCache, LocateCursor, Point2, Triangulation};
 
 /// The error grid `Err[√A][√A]` of FRA, with used-position tracking.
@@ -55,6 +56,29 @@ impl LocalErrorGrid {
             dt,
             samples,
             par,
+        );
+        this
+    }
+
+    /// Like [`LocalErrorGrid::new_with`] with an explicit quadrature
+    /// [`Kernel`].
+    pub fn new_kernel_with<F: Field + Sync>(
+        grid: GridSpec,
+        field: &F,
+        dt: &Triangulation,
+        samples: &[f64],
+        par: Parallelism,
+        kernel: Kernel,
+    ) -> Self {
+        let mut this = LocalErrorGrid::empty(grid);
+        this.recompute_region_kernel(
+            grid.rect().min(),
+            grid.rect().max(),
+            field,
+            dt,
+            samples,
+            par,
+            kernel,
         );
         this
     }
@@ -181,6 +205,46 @@ impl LocalErrorGrid {
         }
     }
 
+    /// [`LocalErrorGrid::recompute_region_with`] with an explicit
+    /// quadrature [`Kernel`].
+    ///
+    /// Under [`Kernel::Raster`] each row's cells are attributed to
+    /// triangles by scanline spans in *locate mode*: a cell is claimed
+    /// only when it is strictly inside a triangle beyond the walk's
+    /// orientation tolerance, in which case the walk provably lands in
+    /// the same triangle and the raster error reproduces the walk's
+    /// bit-for-bit. The remaining cells (hull boundary and exterior)
+    /// run the ordinary per-cell walk/extrapolation fallback.
+    // Mirrors `recompute_region_with`, whose argument-list rationale
+    // applies here too.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recompute_region_kernel<F: Field + Sync>(
+        &mut self,
+        lo: Point2,
+        hi: Point2,
+        field: &F,
+        dt: &Triangulation,
+        samples: &[f64],
+        par: Parallelism,
+        kernel: Kernel,
+    ) {
+        if kernel == Kernel::Walk {
+            return self.recompute_region_with(lo, hi, field, dt, samples, par);
+        }
+        let (i0, i1, j0, j1) = self.clip_box(lo, hi);
+        let g = self.grid;
+        let plan = RasterPlan::build(dt, samples, &g);
+        let cache = dt.locate_cache();
+        let cache = &cache;
+        let plan = &plan;
+        let rows = map_rows(j1 - j0 + 1, par, |r| {
+            row_errors_raster(&g, i0, i1, j0 + r, field, dt, cache, samples, plan)
+        });
+        for (r, row) in rows.iter().enumerate() {
+            self.write_row(i0, j0 + r, row);
+        }
+    }
+
     /// The unused grid point with the largest local error, skipping the
     /// flat indices listed in `rejected`. Returns `None` when every
     /// position is used or rejected.
@@ -240,6 +304,39 @@ fn row_errors<F: Field>(
                     // before the scaffold corners exist): nearest value.
                     dt.nearest_vertex(p).map(|id| samples[id.0]).unwrap_or(0.0)
                 });
+            (field.value(p) - approx).abs()
+        })
+        .collect()
+}
+
+/// Raster variant of [`row_errors`]: span-claimed cells interpolate
+/// from their owning plan triangle (bit-identical to the walk by the
+/// locate-mode claim rule); unclaimed cells fall through to the same
+/// walk/extrapolation chain as [`row_errors`].
+#[allow(clippy::too_many_arguments)]
+fn row_errors_raster<F: Field>(
+    g: &GridSpec,
+    i0: usize,
+    i1: usize,
+    j: usize,
+    field: &F,
+    dt: &Triangulation,
+    cache: &LocateCache,
+    samples: &[f64],
+    plan: &RasterPlan,
+) -> Vec<f64> {
+    let mut owners = vec![NO_OWNER; i1 - i0 + 1];
+    plan.fill_row_owners(j, i0, i1, &mut owners);
+    let mut cursor = LocateCursor::new();
+    (i0..=i1)
+        .map(|i| {
+            let p = g.point(i, j);
+            let approx = match plan.interpolate_owned(owners[i - i0], p, samples) {
+                Some(v) => v,
+                None => dt
+                    .interpolate_with(cache, &mut cursor, p, samples)
+                    .unwrap_or_else(|| dt.nearest_vertex(p).map(|id| samples[id.0]).unwrap_or(0.0)),
+            };
             (field.value(p) - approx).abs()
         })
         .collect()

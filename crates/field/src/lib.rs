@@ -22,7 +22,10 @@
 //!   tiles whose reconstruction triangles changed;
 //! * the row-sharded parallel evaluation engine in [`par`]
 //!   ([`Parallelism`]), whose grid sweeps are bit-identical to serial
-//!   at any thread count.
+//!   at any thread count and run on a persistent worker pool;
+//! * the triangle-major scanline quadrature kernel in [`raster`]
+//!   ([`Kernel`], [`RasterPlan`]): plane each alive triangle once and
+//!   DDA-sweep its row spans instead of locating per grid cell.
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod incremental;
 mod noise;
 mod ops;
 pub mod par;
+pub mod raster;
 mod reconstruct;
 mod traits;
 
@@ -71,5 +75,6 @@ pub use incremental::{DeltaCache, DeltaTotals};
 pub use noise::NoiseField;
 pub use ops::{ClampedField, ScaledField, SumField, TranslatedField};
 pub use par::Parallelism;
+pub use raster::{Kernel, RasterPlan};
 pub use reconstruct::ReconstructedSurface;
 pub use traits::{Field, Frozen, Static, TimeVaryingField};

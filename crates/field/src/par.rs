@@ -8,11 +8,30 @@
 //! keeps floating-point results **bit-identical regardless of thread
 //! count**, which the workspace's determinism tests rely on.
 //!
-//! Built on [`std::thread::scope`] only; no external dependencies and
-//! no `unsafe`.
+//! Parallel batches run on the persistent worker pool in [`cps_pool`]
+//! rather than spawning scoped threads per call: workers are created
+//! lazily on first use and then parked between calls, so the hot
+//! evaluation path pays no spawn cost. Small batches under
+//! [`AUTO_SERIAL_CUTOFF`] stay on the calling thread when the policy is
+//! [`Parallelism::auto`]. This crate itself stays `unsafe`-free; the
+//! one lifetime-erasure `unsafe` lives in `cps-pool`.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::thread;
+
+/// Row counts below this stay serial under [`Parallelism::auto`].
+///
+/// Handing a batch to the pool costs a couple of microseconds of
+/// queueing and wake-up; a grid sweep of a few dozen rows finishes in
+/// less than that, so `auto` never forwards such batches. Explicit
+/// [`Parallelism::fixed`] requests are always honored.
+pub const AUTO_SERIAL_CUTOFF: usize = 64;
+
+/// Each worker's share is split this many ways so that uneven rows
+/// (e.g. hull-heavy bands) rebalance dynamically via the chunk counter.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Thread-count policy for the parallel evaluation engine.
 ///
@@ -79,6 +98,19 @@ impl Parallelism {
         }
     }
 
+    /// Worker count actually used for a batch of `items` rows.
+    ///
+    /// [`Parallelism::auto`] resolves to a single (calling) thread for
+    /// batches under [`AUTO_SERIAL_CUTOFF`] — small grids never pay
+    /// pool overhead — while explicit `fixed` requests are honored as
+    /// given. Never exceeds `items` and never returns 0.
+    pub fn effective_workers(&self, items: usize) -> usize {
+        if self.requested == 0 && items < AUTO_SERIAL_CUTOFF {
+            return 1;
+        }
+        self.threads().min(items.max(1))
+    }
+
     /// Whether execution would stay on the calling thread.
     pub fn is_serial(&self) -> bool {
         self.threads() <= 1
@@ -92,40 +124,60 @@ impl Default for Parallelism {
 }
 
 /// Computes `f(0), f(1), …, f(n - 1)` with rows sharded across up to
-/// `par.threads()` scoped threads, returning results **in index
-/// order**.
+/// `par.threads()` pool workers, returning results **in index order**.
 ///
-/// The assignment of indices to workers is a static contiguous
-/// partition, and each worker evaluates its indices in ascending order,
-/// so any fold over the returned vector observes the same operand order
-/// at every thread count — the determinism guarantee the δ quadrature
-/// builds on. Falls back to a plain serial loop when one worker (or one
-/// item) remains.
+/// Rows are dealt out in contiguous chunks through a shared counter;
+/// the calling thread participates alongside the pool workers, and
+/// results are reassembled by chunk start index, so any fold over the
+/// returned vector observes the same operand order at every thread
+/// count — the determinism guarantee the δ quadrature builds on. Falls
+/// back to a plain serial loop when one worker (or one item) remains,
+/// and under [`Parallelism::auto`] whenever `n` is below
+/// [`AUTO_SERIAL_CUTOFF`].
 pub fn map_rows<T, F>(n: usize, par: Parallelism, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = par.threads().min(n.max(1));
+    let workers = par.effective_workers(n);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let (res_tx, res_rx) = channel::<(usize, Vec<T>)>();
+    let next = &next;
+    let f = &f;
+    let work = move |tx: Sender<(usize, Vec<T>)>| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
+        }
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        let vals: Vec<T> = (start..end).map(f).collect();
+        let _ = tx.send((start, vals));
+    };
+    let jobs: Vec<cps_pool::Job<'_>> = (1..workers)
+        .map(|_| {
+            let tx = res_tx.clone();
+            Box::new(move || work(tx)) as cps_pool::Job<'_>
+        })
+        .collect();
+    cps_obs::count_by(cps_obs::Counter::PoolTasks, jobs.len() as u64);
+    cps_pool::run_with(jobs, || work(res_tx.clone()));
+    drop(res_tx);
+
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let chunk = n.div_ceil(workers);
-    let f = &f;
-    thread::scope(|scope| {
-        for (w, slots) in out.chunks_mut(chunk).enumerate() {
-            let base = w * chunk;
-            scope.spawn(move || {
-                for (k, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(base + k));
-                }
-            });
+    while let Ok((start, vals)) = res_rx.try_recv() {
+        for (k, v) in vals.into_iter().enumerate() {
+            out[start + k] = Some(v);
         }
-    });
+    }
     out.into_iter()
-        .map(|slot| slot.expect("scoped worker filled every slot"))
+        .map(|slot| slot.expect("pool workers filled every chunk"))
         .collect()
 }
 
@@ -143,6 +195,21 @@ mod tests {
         assert_eq!(Parallelism::default(), Parallelism::auto());
         assert_eq!(Parallelism::from_threads(0), Parallelism::auto());
         assert_eq!(Parallelism::from_threads(5), Parallelism::fixed(5));
+    }
+
+    #[test]
+    fn auto_stays_serial_below_the_cutoff() {
+        let auto = Parallelism::auto();
+        assert_eq!(auto.effective_workers(0), 1);
+        assert_eq!(auto.effective_workers(1), 1);
+        assert_eq!(auto.effective_workers(AUTO_SERIAL_CUTOFF - 1), 1);
+        // At or above the cutoff, auto scales with the hardware again.
+        let at = auto.effective_workers(AUTO_SERIAL_CUTOFF);
+        assert_eq!(at, auto.threads().min(AUTO_SERIAL_CUTOFF));
+        // Explicit requests are honored even for tiny batches.
+        assert_eq!(Parallelism::fixed(4).effective_workers(8), 4);
+        assert_eq!(Parallelism::fixed(4).effective_workers(2), 2);
+        assert_eq!(Parallelism::serial().effective_workers(1000), 1);
     }
 
     #[test]

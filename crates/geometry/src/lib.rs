@@ -42,6 +42,7 @@ mod point;
 mod polygon;
 pub mod predicates;
 mod region;
+pub mod scanline;
 mod triangle;
 mod voronoi;
 

@@ -1,0 +1,140 @@
+//! Scanline clipping of triangles to grid rows.
+//!
+//! The raster δ-quadrature kernel sweeps each alive triangle row by
+//! row instead of locating the containing triangle per grid cell.
+//! This module holds the purely geometric half of that kernel: the
+//! exact x-interval a triangle covers on a horizontal line, and the
+//! grid-cell index range inside such an interval.
+//!
+//! Spans are *exact* intersections (no outward epsilon): a grid point
+//! is claimed only when it lies inside or on the clipped triangle, so
+//! adjacent triangles partition a row's cells at the fp-rounded edge
+//! crossing and the union of spans never overclaims past the hull by
+//! more than one rounding step of the crossing computation.
+
+use crate::point::Point2;
+use crate::triangle::Triangle;
+
+/// The inclusive x-interval of `tri ∩ {y = row}`, or `None` when the
+/// triangle misses the row entirely (or is degenerate).
+///
+/// Works for either winding: each edge's half-plane test is oriented
+/// by the sign of the triangle's signed area.
+pub fn triangle_row_span(tri: &Triangle, row: f64) -> Option<(f64, f64)> {
+    let area2 = crate::predicates::orient2d(tri.a, tri.b, tri.c);
+    if area2 == 0.0 || !area2.is_finite() {
+        return None;
+    }
+    let sign = if area2 > 0.0 { 1.0 } else { -1.0 };
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for (a, b) in [(tri.a, tri.b), (tri.b, tri.c), (tri.c, tri.a)] {
+        if !clip_edge(a, b, sign, row, &mut lo, &mut hi) {
+            return None;
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Intersects `[lo, hi]` with the half-plane left of directed edge
+/// `a → b` (for positive `sign`), restricted to `y = row`. Returns
+/// `false` when the row is entirely outside this half-plane.
+fn clip_edge(a: Point2, b: Point2, sign: f64, row: f64, lo: &mut f64, hi: &mut f64) -> bool {
+    // Inside means sign·[(b−a) × (p−a)] ≥ 0 with p = (x, row):
+    //   sign·(b.y−a.y)·(x−a.x) ≤ sign·(b.x−a.x)·(row−a.y)
+    let c = sign * (b.y - a.y);
+    let r = sign * (b.x - a.x) * (row - a.y);
+    if c > 0.0 {
+        *hi = hi.min(a.x + r / c);
+    } else if c < 0.0 {
+        *lo = lo.max(a.x + r / c);
+    } else if r < 0.0 {
+        return false;
+    }
+    true
+}
+
+/// Grid indices `i` with `origin + i·step ∈ [lo, hi]`, clamped to
+/// `0..n`, as an inclusive range; `None` when no grid point falls in
+/// the interval.
+// `!(a <= b)` rather than `a > b`: the negation also rejects NaN
+// endpoints (a degenerate clip), which `>` would let through.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn span_cells(lo: f64, hi: f64, origin: f64, step: f64, n: usize) -> Option<(usize, usize)> {
+    if n == 0 || step <= 0.0 || !(lo <= hi) {
+        return None;
+    }
+    let first = ((lo - origin) / step).ceil().max(0.0);
+    let last = ((hi - origin) / step).floor().min((n - 1) as f64);
+    if !(first <= last) {
+        return None;
+    }
+    Some((first as usize, last as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(ax: f64, ay: f64, bx: f64, by: f64, cx: f64, cy: f64) -> Triangle {
+        Triangle::new(
+            Point2::new(ax, ay),
+            Point2::new(bx, by),
+            Point2::new(cx, cy),
+        )
+    }
+
+    #[test]
+    fn row_span_matches_hand_computed_intersections() {
+        // Right triangle with legs on the axes.
+        let t = tri(0.0, 0.0, 4.0, 0.0, 0.0, 4.0);
+        let (lo, hi) = triangle_row_span(&t, 1.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-12);
+        assert!((hi - 3.0).abs() < 1e-12);
+        // Rows through a vertex and outside.
+        let (lo, hi) = triangle_row_span(&t, 4.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-12 && (hi - 0.0).abs() < 1e-12);
+        assert!(triangle_row_span(&t, 4.5).is_none());
+        assert!(triangle_row_span(&t, -0.5).is_none());
+    }
+
+    #[test]
+    fn winding_does_not_change_the_span() {
+        let ccw = tri(0.0, 0.0, 4.0, 0.0, 0.0, 4.0);
+        let cw = tri(0.0, 0.0, 0.0, 4.0, 4.0, 0.0);
+        let (l1, h1) = triangle_row_span(&ccw, 2.0).unwrap();
+        let (l2, h2) = triangle_row_span(&cw, 2.0).unwrap();
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(h1.to_bits(), h2.to_bits());
+    }
+
+    #[test]
+    fn horizontal_edges_clip_correctly() {
+        // Flat-bottom triangle: the bottom edge is parallel to rows.
+        let t = tri(0.0, 0.0, 4.0, 0.0, 2.0, 2.0);
+        let (lo, hi) = triangle_row_span(&t, 0.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-12 && (hi - 4.0).abs() < 1e-12);
+        let (lo, hi) = triangle_row_span(&t, 1.0).unwrap();
+        assert!((lo - 1.0).abs() < 1e-12 && (hi - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_triangles_yield_no_span() {
+        let t = tri(0.0, 0.0, 1.0, 1.0, 2.0, 2.0);
+        assert!(triangle_row_span(&t, 1.0).is_none());
+    }
+
+    #[test]
+    fn span_cells_rounds_inward() {
+        // Grid points at 0, 0.5, 1.0, ..., 5.0.
+        assert_eq!(span_cells(0.9, 3.1, 0.0, 0.5, 11), Some((2, 6)));
+        // Exact endpoints are included.
+        assert_eq!(span_cells(1.0, 3.0, 0.0, 0.5, 11), Some((2, 6)));
+        // Interval between grid points claims nothing.
+        assert_eq!(span_cells(1.1, 1.4, 0.0, 0.5, 11), None);
+        // Clamps to the grid.
+        assert_eq!(span_cells(-10.0, 100.0, 0.0, 0.5, 11), Some((0, 10)));
+        assert_eq!(span_cells(f64::NAN, 1.0, 0.0, 0.5, 11), None);
+        assert_eq!(span_cells(0.0, 1.0, 0.0, 0.5, 0), None);
+    }
+}

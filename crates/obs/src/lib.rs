@@ -84,11 +84,20 @@ pub enum Counter {
     CheckpointsRejected,
     /// Total bytes of snapshot payloads written.
     CheckpointBytes,
+    /// Alive triangles planed and scanline-clipped by the raster
+    /// quadrature kernel.
+    TrianglesRasterized,
+    /// Grid cells filled by incremental DDA spans (the remainder fell
+    /// back to per-cell location/extrapolation).
+    RasterCells,
+    /// Jobs handed to the persistent worker pool by `map_rows` (the
+    /// calling thread's own share is not counted).
+    PoolTasks,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::DelaunayInserts,
         Counter::CavityRecomputes,
         Counter::FullGridRecomputes,
@@ -104,6 +113,9 @@ impl Counter {
         Counter::CheckpointsLoaded,
         Counter::CheckpointsRejected,
         Counter::CheckpointBytes,
+        Counter::TrianglesRasterized,
+        Counter::RasterCells,
+        Counter::PoolTasks,
     ];
 
     /// Stable snake_case key used in [`RunMetrics`] JSON.
@@ -124,6 +136,9 @@ impl Counter {
             Counter::CheckpointsLoaded => "checkpoints_loaded",
             Counter::CheckpointsRejected => "checkpoints_rejected",
             Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::TrianglesRasterized => "triangles_rasterized",
+            Counter::RasterCells => "raster_cells",
+            Counter::PoolTasks => "pool_tasks",
         }
     }
 }
@@ -156,6 +171,9 @@ pub enum Phase {
     /// Checkpoint persistence: snapshot encoding plus the atomic
     /// write-checksum-fsync-rename sequence.
     CheckpointWrite,
+    /// δ quadrature via the scanline raster kernel (plane build plus
+    /// fused |f − DT| and squared-error sweep).
+    DeltaRaster,
 }
 
 impl Phase {
@@ -171,6 +189,7 @@ impl Phase {
             Phase::DeltaQuadrature => "delta_quadrature",
             Phase::DeltaTileRefresh => "delta_tile_refresh",
             Phase::CheckpointWrite => "checkpoint_write",
+            Phase::DeltaRaster => "delta_raster",
         }
     }
 }
@@ -178,7 +197,10 @@ impl Phase {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// One slot per [`Counter::ALL`] entry.
-static COUNTERS: [AtomicU64; 15] = [
+static COUNTERS: [AtomicU64; 18] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -50,7 +50,7 @@ use std::path::{Path, PathBuf};
 
 use cps_core::ostd::CmaConfig;
 use cps_core::{
-    CoreError, DeploymentEvaluation, EvalOptions, SurvivabilityState, SurvivabilityTracker,
+    CoreError, DeploymentEvaluation, EvalOptions, Kernel, SurvivabilityState, SurvivabilityTracker,
 };
 use cps_geometry::{Point2, Rect};
 use serde_json::Value;
@@ -142,6 +142,11 @@ pub struct SimSnapshot {
     /// Whether δ measurements of this run used the incremental tile
     /// cache (the cache itself re-primes lazily after restore).
     pub eval_cached: bool,
+    /// Which quadrature kernel δ measurements of this run used.
+    /// Snapshots written before the kernel existed decode as
+    /// [`Kernel::Walk`], so old runs resume on the exact arithmetic
+    /// path they were taken with.
+    pub eval_kernel: Kernel,
     /// The full fleet, dead nodes included.
     pub nodes: Vec<MobileNode>,
     /// Fault-runtime state (None for pristine runs).
@@ -379,6 +384,10 @@ impl SimSnapshot {
                 num("curvature_scale", self.curvature_scale)?,
             ),
             ("eval_cached", Value::Bool(self.eval_cached)),
+            (
+                "eval_kernel",
+                Value::String(self.eval_kernel.as_str().to_string()),
+            ),
             ("nodes", Value::Array(nodes)),
             ("fault", fault),
             ("timeline", timeline),
@@ -437,6 +446,7 @@ impl SimSnapshot {
             region,
             curvature_scale: dec_f64(value, "curvature_scale")?,
             eval_cached: dec_bool(value, "eval_cached")?,
+            eval_kernel: dec_kernel(value)?,
             nodes,
             fault,
             timeline,
@@ -685,6 +695,19 @@ fn dec_bool(value: &Value, key: &str) -> Result<bool, CoreError> {
     get(value, key)?
         .as_bool()
         .ok_or_else(|| corrupt(format!("field {key} must be a boolean")))
+}
+
+/// Decodes the quadrature kernel; pre-kernel snapshots lack the field
+/// and resume on the walk path they were recorded with.
+fn dec_kernel(value: &Value) -> Result<Kernel, CoreError> {
+    match value.get("eval_kernel") {
+        None => Ok(Kernel::Walk),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| corrupt("field eval_kernel must be a string".to_string()))?
+            .parse::<Kernel>()
+            .map_err(corrupt),
+    }
 }
 
 fn dec_str(value: &Value, key: &str) -> Result<String, CoreError> {
@@ -1229,6 +1252,7 @@ mod tests {
             region: Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).unwrap(),
             curvature_scale: 0.012_345_678_901_234_5,
             eval_cached: true,
+            eval_kernel: Kernel::Raster,
             nodes: vec![
                 MobileNode {
                     id: 0,
@@ -1337,6 +1361,29 @@ mod tests {
         snap.survivability = None;
         let back = SimSnapshot::from_bytes(&snap.to_bytes().unwrap()).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn pre_kernel_snapshots_decode_to_the_walk_path() {
+        // Snapshots written before the quadrature kernel existed carry
+        // no eval_kernel field; they must resume on the walk arithmetic
+        // they were recorded with, not the new raster default.
+        let snap = sample_snapshot();
+        let payload = serde_json::to_string(&snap.encode().unwrap()).unwrap();
+        assert!(payload.contains("eval_kernel"));
+        let stripped = payload.replace("\"eval_kernel\":\"raster\",", "");
+        assert_ne!(payload, stripped);
+        let value: Value = serde_json::from_str(&stripped).unwrap();
+        let back = SimSnapshot::decode(&value).unwrap();
+        assert_eq!(back.eval_kernel, Kernel::Walk);
+
+        // An unrecognized kernel name is corruption, not a default.
+        let garbled = payload.replace("\"eval_kernel\":\"raster\"", "\"eval_kernel\":\"simpson\"");
+        let value: Value = serde_json::from_str(&garbled).unwrap();
+        assert!(matches!(
+            SimSnapshot::decode(&value),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
     }
 
     #[test]

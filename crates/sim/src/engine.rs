@@ -338,6 +338,7 @@ impl<F: TimeVaryingField> Simulation<F> {
             region: self.region,
             curvature_scale: self.curvature_scale,
             eval_cached: self.eval.cached,
+            eval_kernel: self.eval.kernel,
             nodes: self.nodes.clone(),
             fault: self.fault.as_ref().map(|rt| FaultState {
                 plan: rt.plan.clone(),
@@ -881,8 +882,9 @@ impl CmaBuilder {
     /// The thread policy defaults to [`Parallelism::auto`] and may be
     /// overridden with [`parallelism`](CmaBuilder::parallelism) or
     /// [`evaluator`](CmaBuilder::evaluator) — results do not depend on
-    /// it. Whether δ evaluation uses the tile cache is restored from
-    /// the snapshot (also overridable). Deployment-time settings
+    /// it. Whether δ evaluation uses the tile cache, and which
+    /// quadrature kernel it runs on, are restored from the snapshot
+    /// (both overridable). Deployment-time settings
     /// ([`config`](CmaBuilder::config),
     /// [`start_time`](CmaBuilder::start_time),
     /// [`faults`](CmaBuilder::faults)) are ignored on resume: the
@@ -890,6 +892,7 @@ impl CmaBuilder {
     pub fn resume_from(snapshot: SimSnapshot) -> Self {
         let mut builder = CmaBuilder::new(snapshot.region, Vec::new());
         builder.eval.cached = snapshot.eval_cached;
+        builder.eval.kernel = snapshot.eval_kernel;
         builder.resume = Some(Box::new(snapshot));
         builder
     }

@@ -1,0 +1,183 @@
+//! Integration: the walk and raster δ-quadrature kernels must be
+//! interchangeable — identical FRA and CMA deployments, and δ/RMS
+//! agreement within 1e-9 at every thread count, cache on or off,
+//! survivor masks included. This is what the CI `kernel-consistency`
+//! job runs.
+
+use cps::core::osd::FraBuilder;
+use cps::core::{DeltaEvaluator, EvalOptions, Kernel};
+use cps::field::{Parallelism, PeaksField};
+use cps::geometry::{GridSpec, Point2, Rect};
+use cps::greenorbs::{ForestConfig, LatentLightField};
+use cps::sim::{scenario, CmaBuilder, DeltaTimeline};
+
+fn region() -> Rect {
+    Rect::square(100.0).unwrap()
+}
+
+fn grid() -> GridSpec {
+    GridSpec::new(region(), 51, 51).unwrap()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// The load-bearing guarantee for the raster default: FRA's greedy
+/// refinement — argmax choices, relay placement, everything — picks the
+/// *same* deployment under both kernels, at every thread count.
+#[test]
+fn fra_deployments_are_identical_across_kernels() {
+    let f = PeaksField::new(region(), 8.0);
+    let walk = FraBuilder::new(30, 10.0)
+        .grid(grid())
+        .evaluator(EvalOptions::new().kernel(Kernel::Walk))
+        .track_delta(true)
+        .run(&f)
+        .unwrap();
+    for threads in [1usize, 2, 8] {
+        let raster = FraBuilder::new(30, 10.0)
+            .grid(grid())
+            .evaluator(
+                EvalOptions::new()
+                    .kernel(Kernel::Raster)
+                    .parallelism(Parallelism::fixed(threads)),
+            )
+            .track_delta(true)
+            .run(&f)
+            .unwrap();
+        assert_eq!(
+            walk.positions, raster.positions,
+            "kernels diverged at {threads} threads"
+        );
+        assert_eq!(walk.refined, raster.refined);
+        assert_eq!(walk.relays, raster.relays);
+        let a = walk.delta_trajectory.as_deref().unwrap();
+        let b = raster.delta_trajectory.as_deref().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(close(*x, *y), "trajectory walk {x} vs raster {y}");
+        }
+    }
+}
+
+/// DeltaEvaluator: walk and raster agree within 1e-9 on a full
+/// deployment, at 1/2/8 threads, with the tile cache on and off.
+#[test]
+fn evaluator_kernels_agree_at_any_thread_count_and_cache_setting() {
+    let f = PeaksField::new(region(), 8.0);
+    let g = grid();
+    let plan = FraBuilder::new(40, 30.0).grid(g).run(&f).unwrap();
+    let baseline = DeltaEvaluator::new(&f, &g, 30.0)
+        .kernel(Kernel::Walk)
+        .evaluate(&plan.positions)
+        .unwrap();
+    for threads in [1usize, 2, 8] {
+        for cached in [false, true] {
+            for kernel in [Kernel::Walk, Kernel::Raster] {
+                let e = DeltaEvaluator::new(&f, &g, 30.0)
+                    .parallelism(Parallelism::fixed(threads))
+                    .cached(cached)
+                    .kernel(kernel)
+                    .evaluate(&plan.positions)
+                    .unwrap();
+                assert!(
+                    close(e.delta, baseline.delta),
+                    "delta {kernel:?} threads={threads} cached={cached}: {} vs {}",
+                    e.delta,
+                    baseline.delta
+                );
+                assert!(
+                    close(e.rms, baseline.rms),
+                    "rms {kernel:?} threads={threads} cached={cached}: {} vs {}",
+                    e.rms,
+                    baseline.rms
+                );
+                assert_eq!(e.connected, baseline.connected);
+            }
+        }
+    }
+}
+
+/// Survivor-mask evaluation: attrition down to a sub-hull survivor set
+/// agrees across kernels, and the degenerate constant-fallback regime
+/// (fewer than three survivors) is bit-identical — it never touches
+/// the kernel-dependent path.
+#[test]
+fn survivor_mask_evaluation_agrees_across_kernels() {
+    let f = PeaksField::new(region(), 8.0);
+    let g = grid();
+    let plan = FraBuilder::new(30, 30.0).grid(g).run(&f).unwrap();
+    // Kill every third node.
+    let mask: Vec<bool> = (0..plan.positions.len()).map(|i| i % 3 != 0).collect();
+    let walk = DeltaEvaluator::new(&f, &g, 30.0)
+        .survivor_mask(&mask)
+        .kernel(Kernel::Walk)
+        .evaluate(&plan.positions)
+        .unwrap();
+    for threads in [1usize, 2, 8] {
+        let raster = DeltaEvaluator::new(&f, &g, 30.0)
+            .survivor_mask(&mask)
+            .kernel(Kernel::Raster)
+            .parallelism(Parallelism::fixed(threads))
+            .evaluate(&plan.positions)
+            .unwrap();
+        assert!(
+            close(raster.delta, walk.delta),
+            "masked delta at {threads} threads: raster {} walk {}",
+            raster.delta,
+            walk.delta
+        );
+        assert!(close(raster.rms, walk.rms));
+    }
+    // Two survivors: both kernels collapse to the same constant plane.
+    let mut two = vec![false; plan.positions.len()];
+    two[0] = true;
+    two[1] = true;
+    let a = DeltaEvaluator::new(&f, &g, 30.0)
+        .survivor_mask(&two)
+        .kernel(Kernel::Walk)
+        .evaluate(&plan.positions)
+        .unwrap();
+    let b = DeltaEvaluator::new(&f, &g, 30.0)
+        .survivor_mask(&two)
+        .kernel(Kernel::Raster)
+        .evaluate(&plan.positions)
+        .unwrap();
+    assert_eq!(a.delta.to_bits(), b.delta.to_bits());
+    assert_eq!(a.rms.to_bits(), b.rms.to_bits());
+}
+
+/// CMA: node movement never reads δ, so a swarm stepped under either
+/// kernel traces the exact same trajectories; the recorded δ timeline
+/// agrees within 1e-9.
+#[test]
+fn cma_trajectories_are_identical_across_kernels() {
+    let field = LatentLightField::new(&ForestConfig::default());
+    let region = Rect::new(Point2::new(20.0, 20.0), Point2::new(120.0, 120.0)).unwrap();
+    let grid = GridSpec::new(region, 51, 51).unwrap();
+    let horizon = if cfg!(debug_assertions) { 6 } else { 20 };
+    let mut runs = Vec::new();
+    for kernel in [Kernel::Walk, Kernel::Raster] {
+        let start = scenario::grid_start_spaced(region, 60, 9.3);
+        let mut sim = CmaBuilder::new(region, start)
+            .evaluator(EvalOptions::new().kernel(kernel))
+            .start_time(600.0)
+            .run(&field)
+            .unwrap();
+        let mut timeline = DeltaTimeline::for_simulation(&sim);
+        timeline.record(&sim, &grid).unwrap();
+        for _ in 0..horizon {
+            sim.step().unwrap();
+        }
+        timeline.record(&sim, &grid).unwrap();
+        let deltas: Vec<f64> = timeline.samples().iter().map(|(_, e)| e.delta).collect();
+        runs.push((sim.positions(), deltas));
+    }
+    let (walk_pos, walk_deltas) = &runs[0];
+    let (raster_pos, raster_deltas) = &runs[1];
+    assert_eq!(walk_pos, raster_pos, "CMA trajectories diverged");
+    for (a, b) in walk_deltas.iter().zip(raster_deltas) {
+        assert!(close(*a, *b), "timeline walk {a} vs raster {b}");
+    }
+}
