@@ -26,7 +26,7 @@ fn bench_step(c: &mut Criterion) {
             // Fresh sim per batch so node positions stay comparable.
             b.iter_batched(
                 || {
-                    CmaBuilder::new(region, scenario::grid_start_spaced(region, k, 9.3))
+                    CmaBuilder::new(region, scenario::grid_start_spaced(region, k, 9.3).unwrap())
                         .run(environment())
                         .unwrap()
                 },

@@ -30,7 +30,7 @@ fn main() {
             cps,
             ..SimConfig::default()
         };
-        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC).unwrap();
         let mut sim = CmaBuilder::new(region, start)
             .config(config)
             .start_time(600.0)

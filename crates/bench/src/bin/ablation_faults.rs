@@ -28,7 +28,7 @@ fn main() {
             .link_loss(0.1, 2)
             .build()
             .expect("valid fault plan");
-        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+        let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC).unwrap();
         let mut sim = CmaBuilder::new(region, start)
             .start_time(600.0)
             .faults(plan)

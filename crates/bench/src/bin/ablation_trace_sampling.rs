@@ -14,7 +14,7 @@ fn main() {
     let field = LatentLightField::new(&ForestConfig::default());
     let grid = eval_grid();
 
-    let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+    let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC).unwrap();
     let mut sim = CmaBuilder::new(region, start)
         .start_time(600.0)
         .run(&field)

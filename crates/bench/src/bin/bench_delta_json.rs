@@ -35,7 +35,9 @@ use cps_core::{DeltaEvaluator, EvalOptions};
 use cps_field::delta::surface_delta_rms_with;
 use cps_field::par::map_rows;
 use cps_field::{delta, Field, Kernel, Parallelism, PeaksField, ReconstructedSurface};
-use cps_geometry::{GridSpec, Rect};
+use cps_field::{GaussianBlob, Static};
+use cps_geometry::{GridSpec, Point2, Rect};
+use cps_sim::sweep::{run_sweep, SweepJob, SweepSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -88,6 +90,23 @@ struct PoolEntry {
 }
 
 #[derive(Serialize, Deserialize)]
+struct SweepWorkerEntry {
+    workers: usize,
+    total_ns: u64,
+    jobs_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SweepEntry {
+    jobs: usize,
+    minutes: u64,
+    bit_identical_across_workers: bool,
+    bit_identical_after_resume: bool,
+    workers: Vec<SweepWorkerEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
 struct TrajectoryPoint {
     label: String,
     git_sha: String,
@@ -112,6 +131,7 @@ struct BenchDoc {
     raster_vs_walk: Vec<KernelEntry>,
     pool: PoolEntry,
     incremental: IncrementalEntry,
+    sweep: SweepEntry,
     trajectory: Vec<TrajectoryPoint>,
 }
 
@@ -265,6 +285,7 @@ fn main() {
     let raster_vs_walk = bench_kernels();
     let pool = bench_pool();
     let incremental = bench_incremental(&reference, &grid, Rect::square(100.0).unwrap());
+    let sweep = bench_sweep();
 
     let sha = git_sha();
     let mut trajectory = previous_trajectory(&out_path);
@@ -304,6 +325,7 @@ fn main() {
         raster_vs_walk,
         pool,
         incremental,
+        sweep,
         trajectory,
     };
 
@@ -352,6 +374,99 @@ fn main() {
         inc.tile_cache_hits,
         inc.tiles_total,
     );
+    for w in &doc.sweep.workers {
+        println!(
+            "  sweep ({} jobs, {} workers): {:.2} ms, {:.2} jobs/s (x{:.2} vs serial)",
+            doc.sweep.jobs,
+            w.workers,
+            w.total_ns as f64 / 1e6,
+            w.jobs_per_sec,
+            w.speedup_vs_serial,
+        );
+    }
+}
+
+/// Times a 16-job batch sweep at 1/2/8 workers, gating the timings on
+/// the engine's two determinism guarantees: aggregate JSON byte-equal
+/// across worker counts, and byte-equal again after an interrupt
+/// (simulated by a half-full manifest) plus resume.
+fn bench_sweep() -> SweepEntry {
+    let spec = SweepSpec {
+        seeds: vec![1, 2, 3, 4],
+        k: vec![9, 16],
+        comm_radius: vec![10.0, 12.0],
+        minutes: 5,
+        sample_every: 5,
+        resolution: 41,
+        ..SweepSpec::default()
+    };
+    let field_for = |job: &SweepJob| {
+        Static::new(GaussianBlob::isotropic(
+            Point2::new(40.0 + job.seed as f64 * 9.0, 70.0),
+            45.0,
+            18.0,
+        ))
+    };
+    let jobs = spec.jobs().len();
+
+    // One warm pass (spawns the pool workers) doubles as the reference
+    // for the bit-identity gates.
+    let reference = run_sweep(&spec, 2, None, false, field_for).expect("sweep");
+    let reference_json = reference.to_json().expect("sweep json");
+
+    let mut bit_identical_across_workers = true;
+    let timings: Vec<(usize, u64)> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            let start = Instant::now();
+            let results = run_sweep(&spec, w, None, false, field_for).expect("sweep");
+            let total_ns = start.elapsed().as_nanos() as u64;
+            bit_identical_across_workers &=
+                results.to_json().expect("sweep json") == reference_json;
+            (w, total_ns)
+        })
+        .collect();
+    let serial_ns = timings[0].1;
+    let workers: Vec<SweepWorkerEntry> = timings
+        .into_iter()
+        .map(|(w, total_ns)| SweepWorkerEntry {
+            workers: w,
+            total_ns,
+            jobs_per_sec: jobs as f64 / (total_ns as f64 / 1e9),
+            speedup_vs_serial: serial_ns as f64 / total_ns as f64,
+        })
+        .collect();
+
+    // Interrupt + resume gate: a manifest holding half the outcomes
+    // must replay into byte-identical output.
+    let dir = env::temp_dir().join(format!("cps_bench_sweep_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("bench temp dir");
+    let manifest_path = dir.join("sweep.manifest");
+    let digest = spec.digest();
+    let expanded = spec.jobs();
+    let mut partial = cps_sim::SweepManifest::create(&manifest_path, digest).expect("manifest");
+    for i in (0..jobs).step_by(2) {
+        partial
+            .record(
+                i as u64,
+                expanded[i].digest(digest),
+                reference.outcomes[i].clone(),
+            )
+            .expect("manifest record");
+    }
+    let resumed =
+        run_sweep(&spec, 8, Some(&manifest_path), true, field_for).expect("resumed sweep");
+    let bit_identical_after_resume = resumed.to_json().expect("sweep json") == reference_json;
+    let _ = fs::remove_dir_all(&dir);
+
+    SweepEntry {
+        jobs,
+        minutes: spec.minutes,
+        bit_identical_across_workers,
+        bit_identical_after_resume,
+        workers,
+    }
 }
 
 /// Times the full δ+RMS evaluation — the quantity the evaluator

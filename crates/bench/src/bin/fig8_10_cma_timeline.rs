@@ -27,7 +27,7 @@ fn main() {
 
     // Fig. 8(a): connected grid start (spacing 0.93·Rc keeps slack
     // inside the communication radius; see cps_sim::scenario docs).
-    let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC);
+    let start = scenario::grid_start_spaced(region, 100, 0.93 * PAPER_RC).unwrap();
     let mut sim = CmaBuilder::new(region, start)
         .start_time(600.0)
         .run(&field)

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fs;
+use std::path::Path;
 
 use cps_core::osd::FraBuilder;
 use cps_core::{analyze_deployment_with, EvalOptions, Kernel, SurvivabilityTracker};
@@ -10,8 +11,8 @@ use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
 use cps_network::UnitDiskGraph;
 use cps_sim::{
-    scenario, CheckpointDir, CheckpointPolicy, CmaBuilder, DeltaTimeline, FaultEvent, FaultPlan,
-    TrajectoryRecorder,
+    run_sweep, scenario, CheckpointDir, CheckpointPolicy, CmaBuilder, DeltaTimeline, FaultEvent,
+    FaultPlan, SweepSpec, TrajectoryRecorder,
 };
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
 
@@ -39,6 +40,15 @@ commands:
             battery=CAP:IDLE:MOVE, dropout=P, outlier=P:MAG,
             stuck=P:SLOTS, loss=P[:RETRIES], recovery=auto|on|off) and
             --report writes the survivability report JSON
+  sweep     --spec sweep.json --out results.json [--workers N] [--resume on]
+            [--manifest PATH] [--metrics metrics.json]
+            run a deterministic batch sweep: the spec names axes (seeds,
+            k, comm_radius, faults) and scenario knobs; jobs execute
+            concurrently on the persistent pool and fold into per-cell
+            aggregates that are bit-identical at any --workers value.
+            A manifest (default: <out>.manifest) records completed jobs
+            after each one; --resume on replays it instead of
+            recomputing, with byte-identical output
   report    --trace trace.json --plan plan.csv [--rc 10] [--hour 10] [--threads N]
             full quality/robustness report for an existing deployment
   help      show this text
@@ -280,7 +290,7 @@ pub fn simulate(args: &Args) -> CmdResult {
             if resume {
                 println!("no valid checkpoint in {checkpoint_dir}; starting fresh");
             }
-            let start = scenario::grid_start_spaced(region(), k, 9.3);
+            let start = scenario::grid_start_spaced(region(), k, 9.3)?;
             let mut builder = CmaBuilder::new(region(), start)
                 .evaluator(eval)
                 .start_time(600.0);
@@ -407,6 +417,74 @@ pub fn simulate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `cps sweep` — deterministic multi-scenario batch runs.
+pub fn sweep(args: &Args) -> CmdResult {
+    let spec_path = args.require("spec")?;
+    let out = args.require("out")?;
+    let workers = args.usize_or("workers", 0)?;
+    let resume = args.bool_or("resume", false)?;
+    let metrics_path = args.string_or("metrics", "");
+    let manifest_default = format!("{out}.manifest");
+    let manifest_path = args.string_or("manifest", &manifest_default);
+    args.finish()?;
+
+    if !metrics_path.is_empty() {
+        cps_obs::reset();
+        cps_obs::enable();
+    }
+    let spec = SweepSpec::from_json(&fs::read_to_string(&spec_path)?)?;
+    let jobs = spec.jobs();
+    println!(
+        "sweep: {} jobs ({} cells x {} seeds), spec digest {:016x}",
+        jobs.len(),
+        jobs.len() / spec.seeds.len(),
+        spec.seeds.len(),
+        spec.digest()
+    );
+    // Each job's field is rebuilt from its seed, so a resumed sweep
+    // sees exactly the fields the interrupted one did.
+    let results = run_sweep(
+        &spec,
+        workers,
+        Some(Path::new(&manifest_path)),
+        resume,
+        |job| {
+            LatentLightField::new(&ForestConfig {
+                seed: job.seed,
+                ..ForestConfig::default()
+            })
+        },
+    )?;
+    for cell in &results.cells {
+        println!(
+            "  k={:<4} rc={:<5} faults={:<24} delta {:.1} ± {:.1}  connected {:.0}%",
+            cell.k,
+            cell.comm_radius,
+            if cell.fault_spec.is_empty() {
+                "-"
+            } else {
+                &cell.fault_spec
+            },
+            cell.final_delta.mean,
+            cell.final_delta.stddev,
+            100.0 * cell.connected_fraction,
+        );
+    }
+    fs::write(&out, results.to_json()?)?;
+    println!(
+        "wrote {out} ({} jobs, {} cells; manifest at {manifest_path})",
+        results.jobs.len(),
+        results.cells.len()
+    );
+    if !metrics_path.is_empty() {
+        let metrics = cps_obs::snapshot();
+        cps_obs::disable();
+        fs::write(&metrics_path, metrics.to_json()?)?;
+        println!("wrote {metrics_path} (run metrics)");
+    }
+    Ok(())
+}
+
 /// `cps report` — analyze a saved deployment.
 pub fn report(args: &Args) -> CmdResult {
     let trace = args.require("trace")?;
@@ -503,7 +581,7 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for cmd in ["generate", "surface", "plan", "simulate", "report"] {
+        for cmd in ["generate", "surface", "plan", "simulate", "sweep", "report"] {
             assert!(USAGE.contains(cmd), "usage must document {cmd}");
         }
     }

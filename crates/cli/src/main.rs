@@ -20,6 +20,7 @@ fn main() -> ExitCode {
         "surface" => commands::surface(&parsed),
         "plan" => commands::plan(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "sweep" => commands::sweep(&parsed),
         "report" => commands::report(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -33,13 +33,15 @@ pub fn prim_mst(points: &[Point2]) -> Vec<(usize, usize)> {
     prim_mst_weighted(n, |i, j| points[i].distance(points[j]))
 }
 
-/// Prim's MST over `n` vertices with an arbitrary symmetric weight
-/// function. O(n²), appropriate for the dense small graphs of the
-/// foresight step.
+/// Prim's minimum spanning *forest* over `n` vertices with an arbitrary
+/// symmetric weight function. O(n²), appropriate for the dense small
+/// graphs of the foresight step.
 ///
-/// Returns `n − 1` edges (empty for `n < 2`). Non-finite weights are
-/// treated as "no edge is preferable", i.e. they lose to any finite
-/// weight.
+/// Non-finite weights (NaN, ±∞) mean "no edge". When the finite-weight
+/// graph is connected this returns the MST's `n − 1` edges (empty for
+/// `n < 2`); when it is disconnected, each component gets its own
+/// minimum spanning tree and the result has `n − components` edges —
+/// never an edge whose weight is non-finite.
 pub fn prim_mst_weighted<W: Fn(usize, usize) -> f64>(n: usize, weight: W) -> Vec<(usize, usize)> {
     if n < 2 {
         return Vec::new();
@@ -61,13 +63,22 @@ pub fn prim_mst_weighted<W: Fn(usize, usize) -> f64>(n: usize, weight: W) -> Vec
     }
     for _ in 1..n {
         // Cheapest fringe vertex (costs are NaN-free, so total_cmp
-        // agrees with the numeric order).
+        // agrees with the numeric order; among all-equal costs it picks
+        // the lowest index, keeping the result deterministic).
         let u = (0..n)
             .filter(|&v| !in_tree[v])
             .min_by(|&a, &b| best_cost[a].total_cmp(&best_cost[b]))
             .expect("some vertex remains outside the tree");
         in_tree[u] = true;
-        edges.push((best_from[u], u));
+        if best_cost[u] != f64::INFINITY {
+            edges.push((best_from[u], u));
+        }
+        // An all-infinite fringe means no finite edge joins the grown
+        // forest to the rest of the graph: `u` starts a new component
+        // root (no edge is emitted above — the stale `best_from[u]`
+        // default would fabricate a phantom ∞-weight bridge between
+        // components). Relaxation below then seeds the new tree's
+        // fringe exactly like the `in_tree[0] = true` bootstrap.
         for v in 0..n {
             if !in_tree[v] {
                 let w = sanitize(weight(u, v));
@@ -177,6 +188,49 @@ mod tests {
             edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn disconnected_weight_graph_yields_a_forest_without_infinite_edges() {
+        // Two components {0, 1} and {2, 3}; every cross edge is ∞.
+        let weight = |i: usize, j: usize| match (i.min(j), i.max(j)) {
+            (0, 1) => 2.0,
+            (2, 3) => 5.0,
+            _ => f64::INFINITY,
+        };
+        let edges = prim_mst_weighted(4, weight);
+        let mut sorted: Vec<(usize, usize)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(0, 1), (2, 3)], "one tree per component");
+        assert!(
+            edges.iter().all(|&(a, b)| weight(a, b).is_finite()),
+            "no phantom ∞-weight bridge may appear: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn fully_isolated_vertices_yield_an_empty_forest() {
+        // No finite edge at all (∞ and NaN both mean "no edge"): the old
+        // code emitted n−1 phantom edges all rooted at the stale
+        // `best_from` default 0.
+        let edges = prim_mst_weighted(5, |_, _| f64::INFINITY);
+        assert!(edges.is_empty(), "{edges:?}");
+        let edges = prim_mst_weighted(5, |_, _| f64::NAN);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn relay_gap_graphs_remain_connected_inputs() {
+        // Audit of the FRA foresight call site: `RelayPlan` feeds
+        // `prim_mst_weighted` the closest-pair gap matrix *between
+        // components*, which is complete and finite (every pair of
+        // components has a closest pair of real points), so the forest
+        // fallback never triggers there and the plan still receives a
+        // spanning tree.  This pins that contract.
+        let gap = [[0.0, 3.0, 7.0], [3.0, 0.0, 4.0], [7.0, 4.0, 0.0]];
+        let edges = prim_mst_weighted(3, |i, j| gap[i][j]);
+        assert_eq!(edges.len(), 2, "complete finite graph spans all vertices");
     }
 
     #[test]

@@ -93,11 +93,16 @@ pub enum Counter {
     /// Jobs handed to the persistent worker pool by `map_rows` (the
     /// calling thread's own share is not counted).
     PoolTasks,
+    /// Sweep jobs executed (simulated) by the batch engine this
+    /// process; resumed jobs are counted separately.
+    SweepJobs,
+    /// Sweep jobs restored from a manifest instead of re-simulated.
+    SweepResumed,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::DelaunayInserts,
         Counter::CavityRecomputes,
         Counter::FullGridRecomputes,
@@ -116,6 +121,8 @@ impl Counter {
         Counter::TrianglesRasterized,
         Counter::RasterCells,
         Counter::PoolTasks,
+        Counter::SweepJobs,
+        Counter::SweepResumed,
     ];
 
     /// Stable snake_case key used in [`RunMetrics`] JSON.
@@ -139,6 +146,8 @@ impl Counter {
             Counter::TrianglesRasterized => "triangles_rasterized",
             Counter::RasterCells => "raster_cells",
             Counter::PoolTasks => "pool_tasks",
+            Counter::SweepJobs => "sweep_jobs",
+            Counter::SweepResumed => "sweep_resumed",
         }
     }
 }
@@ -174,6 +183,9 @@ pub enum Phase {
     /// δ quadrature via the scanline raster kernel (plane build plus
     /// fused |f − DT| and squared-error sweep).
     DeltaRaster,
+    /// One batch-sweep job: a full simulation run plus its δ timeline
+    /// and outcome extraction.
+    SweepJob,
 }
 
 impl Phase {
@@ -190,6 +202,7 @@ impl Phase {
             Phase::DeltaTileRefresh => "delta_tile_refresh",
             Phase::CheckpointWrite => "checkpoint_write",
             Phase::DeltaRaster => "delta_raster",
+            Phase::SweepJob => "sweep_job",
         }
     }
 }
@@ -197,7 +210,9 @@ impl Phase {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// One slot per [`Counter::ALL`] entry.
-static COUNTERS: [AtomicU64; 18] = [
+static COUNTERS: [AtomicU64; 20] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -285,27 +285,7 @@ impl SimSnapshot {
     /// [`SimSnapshot::to_bytes`] errors.
     pub fn save(&self, path: &Path) -> Result<u64, CoreError> {
         let bytes = self.to_bytes()?;
-        let tmp = path.with_extension("tmp");
-        let write = || -> std::io::Result<()> {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(&bytes)?;
-            file.sync_all()?;
-            drop(file);
-            fs::rename(&tmp, path)?;
-            #[cfg(unix)]
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                // Make the rename itself durable; best-effort (some
-                // filesystems refuse directory fsync).
-                if let Ok(d) = fs::File::open(dir) {
-                    let _ = d.sync_all();
-                }
-            }
-            Ok(())
-        };
-        write().map_err(|e| {
-            let _ = fs::remove_file(&tmp);
-            snapshot_io(path, &e)
-        })?;
+        atomic_write(path, &bytes)?;
         Ok(bytes.len() as u64)
     }
 
@@ -614,11 +594,41 @@ impl CheckpointDir {
 }
 
 // ---- shared helpers ---------------------------------------------------
+// (pub(crate): the sweep manifest reuses the same header format,
+// checksum, atomic-write path, and JSON codec discipline.)
+
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, fsync, rename, best-effort directory fsync. A crash at
+/// any instant leaves either the previous file or the new one, never a
+/// torn write.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CoreError> {
+    let tmp = path.with_extension("tmp");
+    let write = || -> std::io::Result<()> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Make the rename itself durable; best-effort (some
+            // filesystems refuse directory fsync).
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    };
+    write().map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        snapshot_io(path, &e)
+    })
+}
 
 /// FNV-1a, 64-bit: dependency-free integrity checksum. Not
 /// cryptographic — it guards against torn writes and bit rot, not
 /// adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -627,21 +637,21 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn corrupt(reason: String) -> CoreError {
+pub(crate) fn corrupt(reason: String) -> CoreError {
     CoreError::SnapshotCorrupt {
         path: String::new(),
         reason,
     }
 }
 
-fn snapshot_io(path: &Path, e: &std::io::Error) -> CoreError {
+pub(crate) fn snapshot_io(path: &Path, e: &std::io::Error) -> CoreError {
     CoreError::SnapshotIo {
         path: path.display().to_string(),
         message: e.to_string(),
     }
 }
 
-fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
+pub(crate) fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
     Value::Object(
         entries
             .into_iter()
@@ -652,7 +662,7 @@ fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
 
 /// Encodes a float, rejecting non-finite values (JSON would silently
 /// turn them into `null`).
-fn num(what: &str, x: f64) -> Result<Value, CoreError> {
+pub(crate) fn num(what: &str, x: f64) -> Result<Value, CoreError> {
     if x.is_finite() {
         Ok(Value::Number(x))
     } else {
@@ -663,7 +673,7 @@ fn num(what: &str, x: f64) -> Result<Value, CoreError> {
 /// Encodes an unsigned integer; JSON numbers are `f64`, exact only up
 /// to 2^53 (slot counts and ids are far below; the plan *seed* is a
 /// full-width `u64` and travels as a string instead).
-fn int(x: u64) -> Result<Value, CoreError> {
+pub(crate) fn int(x: u64) -> Result<Value, CoreError> {
     const MAX_EXACT: u64 = 1 << 53;
     if x <= MAX_EXACT {
         Ok(Value::Number(x as f64))
@@ -672,26 +682,26 @@ fn int(x: u64) -> Result<Value, CoreError> {
     }
 }
 
-fn get<'a>(value: &'a Value, key: &str) -> Result<&'a Value, CoreError> {
+pub(crate) fn get<'a>(value: &'a Value, key: &str) -> Result<&'a Value, CoreError> {
     value
         .get(key)
         .ok_or_else(|| corrupt(format!("missing field {key}")))
 }
 
-fn dec_f64(value: &Value, key: &str) -> Result<f64, CoreError> {
+pub(crate) fn dec_f64(value: &Value, key: &str) -> Result<f64, CoreError> {
     get(value, key)?
         .as_f64()
         .filter(|x| x.is_finite())
         .ok_or_else(|| corrupt(format!("field {key} must be a finite number")))
 }
 
-fn dec_u64(value: &Value, key: &str) -> Result<u64, CoreError> {
+pub(crate) fn dec_u64(value: &Value, key: &str) -> Result<u64, CoreError> {
     get(value, key)?
         .as_u64()
         .ok_or_else(|| corrupt(format!("field {key} must be an unsigned integer")))
 }
 
-fn dec_bool(value: &Value, key: &str) -> Result<bool, CoreError> {
+pub(crate) fn dec_bool(value: &Value, key: &str) -> Result<bool, CoreError> {
     get(value, key)?
         .as_bool()
         .ok_or_else(|| corrupt(format!("field {key} must be a boolean")))
@@ -710,7 +720,7 @@ fn dec_kernel(value: &Value) -> Result<Kernel, CoreError> {
     }
 }
 
-fn dec_str(value: &Value, key: &str) -> Result<String, CoreError> {
+pub(crate) fn dec_str(value: &Value, key: &str) -> Result<String, CoreError> {
     Ok(get(value, key)?
         .as_str()
         .ok_or_else(|| corrupt(format!("field {key} must be a string")))?

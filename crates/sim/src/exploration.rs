@@ -72,17 +72,15 @@ impl ExplorationTracker {
     /// Mean time-to-first-sense over the cells sensed so far (`None`
     /// when nothing was sensed).
     pub fn mean_discovery_time(&self) -> Option<f64> {
-        let times: Vec<f64> = self
+        // One-pass fold: never-sensed cells carry NaN, so filtering on
+        // finiteness while accumulating avoids materialising a Vec of
+        // grid-sized length on every metrics poll.
+        let (sum, count) = self
             .first_sensed
             .iter()
-            .copied()
             .filter(|t| t.is_finite())
-            .collect();
-        if times.is_empty() {
-            None
-        } else {
-            Some(times.iter().sum::<f64>() / times.len() as f64)
-        }
+            .fold((0.0_f64, 0_usize), |(s, c), &t| (s + t, c + 1));
+        (count > 0).then(|| sum / count as f64)
     }
 }
 
@@ -97,7 +95,7 @@ mod tests {
     fn coverage_accumulates_as_the_swarm_moves() {
         let region = Rect::square(60.0).unwrap();
         let field = Static::new(GaussianBlob::isotropic(Point2::new(30.0, 30.0), 40.0, 8.0));
-        let start = scenario::grid_start_spaced(region, 9, 9.3);
+        let start = scenario::grid_start_spaced(region, 9, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let grid = GridSpec::new(region, 31, 31).unwrap();
         let mut tracker = ExplorationTracker::new(grid);
@@ -133,5 +131,57 @@ mod tests {
         // Disc of radius 5 on a 1 m grid: π·25 ≈ 78.5 of 441 cells.
         let expected = std::f64::consts::PI * 25.0 / 441.0;
         assert!((tracker.coverage() - expected).abs() < 0.03);
+    }
+
+    #[test]
+    fn sensing_disk_past_the_region_boundary_keeps_all_in_region_cells() {
+        // A node near the corner: its sensing disk (rs = 5) extends past
+        // both region edges, so `nearest_index` clamps the bounding-box
+        // corners. The clamped sweep must still visit every in-region
+        // cell inside the disk — compare against a brute-force count
+        // over the whole grid.
+        let region = Rect::square(20.0).unwrap();
+        let field = Static::new(cps_field::PlaneField::new(0.0, 0.0, 1.0));
+        let p = Point2::new(1.0, 1.0);
+        let sim = CmaBuilder::new(region, vec![p]).run(field).unwrap();
+        let rs = sim.config().cps.sensing_radius();
+        let grid = GridSpec::new(region, 21, 21).unwrap();
+        let mut tracker = ExplorationTracker::new(grid);
+        tracker.record(&sim);
+        let sensed = (tracker.coverage() * grid.len() as f64).round() as usize;
+        let brute: usize = (0..21)
+            .flat_map(|j| (0..21).map(move |i| (i, j)))
+            .filter(|&(i, j)| p.distance_squared(grid.point(i, j)) <= rs * rs)
+            .count();
+        assert!(brute > 0, "the disk must reach in-region cells");
+        assert_eq!(sensed, brute, "clamped corners must not skip cells");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn coverage_is_monotone_non_decreasing_over_steps(seed in 0u64..512) {
+            use rand::SeedableRng;
+            let region = Rect::square(60.0).unwrap();
+            let field = Static::new(GaussianBlob::isotropic(
+                Point2::new(20.0 + (seed % 21) as f64, 30.0),
+                40.0,
+                8.0,
+            ));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let start = scenario::random_connected_start(region, 9, 10.0, 20, &mut rng);
+            let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
+            let grid = GridSpec::new(region, 25, 25).unwrap();
+            let mut tracker = ExplorationTracker::new(grid);
+            tracker.record(&sim);
+            let mut prev = tracker.coverage();
+            for _ in 0..5 {
+                sim.step().unwrap();
+                tracker.record(&sim);
+                let now = tracker.coverage();
+                proptest::prop_assert!(now >= prev, "coverage regressed: {now} < {prev}");
+                prev = now;
+            }
+        }
     }
 }

@@ -39,6 +39,7 @@ mod fault;
 mod metrics;
 mod sampling;
 pub mod scenario;
+pub mod sweep;
 mod trajectory;
 
 pub use checkpoint::{
@@ -51,4 +52,8 @@ pub use fault::{
 };
 pub use metrics::{ConvergenceDetector, DeltaTimeline};
 pub use sampling::{path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank};
+pub use sweep::{
+    run_sweep, Aggregate, CellAggregate, JobOutcome, SweepJob, SweepManifest, SweepResults,
+    SweepSpec, SWEEP_MANIFEST_VERSION,
+};
 pub use trajectory::TrajectoryRecorder;

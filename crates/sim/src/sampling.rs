@@ -201,7 +201,7 @@ mod tests {
                 GaussianBlob::isotropic(Point2::new(42.0, 20.0), 15.0, 6.0),
             ],
         ));
-        let start = scenario::grid_start_spaced(region, 16, 9.3);
+        let start = scenario::grid_start_spaced(region, 16, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let mut bank = PathSampleBank::new(10_000);
         bank.record(&sim);
@@ -222,7 +222,7 @@ mod tests {
     fn record_skips_failed_nodes() {
         let region = Rect::square(60.0).unwrap();
         let field = Static::new(GaussianMixtureField::new(1.0, vec![]));
-        let start = scenario::grid_start_spaced(region, 9, 9.3);
+        let start = scenario::grid_start_spaced(region, 9, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         sim.fail_node(0).unwrap();
         let mut bank = PathSampleBank::new(100);

@@ -1,12 +1,19 @@
 //! Canonical initial deployments for OSTD experiments.
 
 use cps_core::osd::baselines;
+use cps_core::CoreError;
 use cps_geometry::{Point2, Rect};
 use rand::Rng;
 
 /// The paper's initial state for the OSTD experiments: `k` nodes on a
 /// uniform grid (Fig. 8(a) uses `k = 100`, a 10×10 grid whose 10 m
 /// spacing equals `Rc`, so the network starts connected).
+///
+/// # Panics
+///
+/// Panics if `k` is zero — the contract is owned (and pinned by a
+/// `should_panic` test) in [`baselines::uniform_grid_deployment`]; this
+/// delegation is the scenario module's only remaining panic path.
 pub fn grid_start(region: Rect, k: usize) -> Vec<Point2> {
     baselines::uniform_grid_deployment(region, k)
 }
@@ -18,18 +25,32 @@ pub fn grid_start(region: Rect, k: usize) -> Vec<Point2> {
 /// no longer strands all four neighbors at once, so LCM repairs stay
 /// local instead of chain-dragging the whole lattice.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `k` is zero, or if the grid at this spacing does not fit
-/// inside the region.
-pub fn grid_start_spaced(region: Rect, k: usize, spacing: f64) -> Vec<Point2> {
-    assert!(k > 0, "a deployment needs at least one node");
+/// Returns [`CoreError::InvalidParameter`] if `k` is zero, if `spacing`
+/// is not a finite positive number, or if the grid at this spacing does
+/// not fit inside the region.
+pub fn grid_start_spaced(region: Rect, k: usize, spacing: f64) -> Result<Vec<Point2>, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "k",
+            requirement: "a deployment needs at least one node",
+        });
+    }
+    if !spacing.is_finite() || spacing <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "spacing",
+            requirement: "lattice spacing must be a finite positive number",
+        });
+    }
     let n = (k as f64).sqrt().ceil() as usize;
     let span = spacing * (n - 1) as f64;
-    assert!(
-        span <= region.width() && span <= region.height(),
-        "grid span {span} exceeds the region"
-    );
+    if span > region.width() || span > region.height() {
+        return Err(CoreError::InvalidParameter {
+            name: "spacing",
+            requirement: "grid span at this spacing must fit inside the region",
+        });
+    }
     let x0 = region.center().x - span / 2.0;
     let y0 = region.center().y - span / 2.0;
     let mut out = Vec::with_capacity(k);
@@ -44,12 +65,16 @@ pub fn grid_start_spaced(region: Rect, k: usize, spacing: f64) -> Vec<Point2> {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// A random connected-ish start: random positions re-drawn (up to
 /// `attempts` times) until the deployment is connected at `comm_radius`;
 /// falls back to the grid start when randomness cannot produce one.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, via the [`grid_start`] fallback.
 pub fn random_connected_start<R: Rng + ?Sized>(
     region: Rect,
     k: usize,
@@ -91,6 +116,32 @@ mod tests {
         let pts = random_connected_start(region, 30, 20.0, 50, &mut rng);
         let g = UnitDiskGraph::new(pts, 20.0).unwrap();
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_start_spaced_rejects_bad_parameters_with_typed_errors() {
+        let region = Rect::square(100.0).unwrap();
+        // Valid construction still works and centres inside the region.
+        let pts = grid_start_spaced(region, 9, 10.0).unwrap();
+        assert_eq!(pts.len(), 9);
+        assert!(pts.iter().all(|p| region.contains(*p)));
+
+        // k == 0, non-finite / non-positive spacing, oversized span: all
+        // must surface as typed errors, never a panic.
+        for (k, spacing) in [
+            (0usize, 10.0),
+            (9, f64::NAN),
+            (9, f64::INFINITY),
+            (9, 0.0),
+            (9, -3.0),
+            (9, 60.0), // span 120 > width 100
+        ] {
+            let err = grid_start_spaced(region, k, spacing).unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidParameter { .. }),
+                "({k}, {spacing}) => {err:?}"
+            );
+        }
     }
 
     #[test]

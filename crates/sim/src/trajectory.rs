@@ -87,7 +87,7 @@ mod tests {
             30.0,
             6.0,
         ));
-        let start = scenario::grid_start_spaced(region, 9, 9.3);
+        let start = scenario::grid_start_spaced(region, 9, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
         let mut rec = TrajectoryRecorder::new();
         rec.record(&sim);

@@ -25,7 +25,7 @@ fn hotspot_world() -> (Rect, Static<GaussianMixtureField>) {
 #[test]
 fn swarm_densifies_near_hotspots() {
     let (region, field) = hotspot_world();
-    let start = scenario::grid_start_spaced(region, 64, 9.3);
+    let start = scenario::grid_start_spaced(region, 64, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
     let near_hotspots = |positions: &[Point2]| -> usize {
         positions
@@ -60,7 +60,7 @@ fn all_instrumentation_composes_in_one_run() {
         vec![GaussianBlob::isotropic(Point2::new(40.0, 40.0), 25.0, 7.0)],
     );
     let field = DriftingField::new(base, Vec2::new(0.05, 0.0));
-    let start = scenario::grid_start_spaced(region, 36, 9.3);
+    let start = scenario::grid_start_spaced(region, 36, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(&field).unwrap();
 
     let grid = GridSpec::new(region, 33, 33).unwrap();
@@ -117,7 +117,7 @@ fn larger_speed_budget_converges_no_slower() {
             cps,
             ..SimConfig::default()
         };
-        let start = scenario::grid_start_spaced(region, 36, 9.3);
+        let start = scenario::grid_start_spaced(region, 36, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start)
             .config(config)
             .run(field.clone())

@@ -34,7 +34,7 @@ fn main() -> Result<(), cps::Error> {
     let field = DriftingField::new(hotspots, Vec2::new(0.02, 0.01));
 
     // 100 robots on a connected 10x10 grid (spacing inside Rc = 10 m).
-    let start = scenario::grid_start_spaced(region, 100, 9.3);
+    let start = scenario::grid_start_spaced(region, 100, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(&field)?;
 
     println!("initial formation:");

@@ -19,7 +19,7 @@ fn field() -> Static<GaussianMixtureField> {
 #[test]
 fn swarm_survives_interior_failures() {
     let region = Rect::square(100.0).unwrap();
-    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let start = scenario::grid_start_spaced(region, 49, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     let grid = GridSpec::new(region, 41, 41).unwrap();
     let mut timeline = DeltaTimeline::new();
@@ -62,7 +62,7 @@ fn swarm_survives_interior_failures() {
 #[test]
 fn failure_api_validates_ids() {
     let region = Rect::square(50.0).unwrap();
-    let start = scenario::grid_start_spaced(region, 9, 9.3);
+    let start = scenario::grid_start_spaced(region, 9, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     assert!(sim.fail_node(99).is_err());
     sim.fail_node(4).unwrap();
@@ -76,7 +76,7 @@ fn mass_failure_can_partition_but_never_panics() {
     // honest limitation of local-information repair (LCM cannot rejoin
     // parts it cannot hear). The simulation must stay sound regardless.
     let region = Rect::square(100.0).unwrap();
-    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let start = scenario::grid_start_spaced(region, 49, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(field()).unwrap();
     // Column 3 of the 7×7 grid.
     for row in 0..7 {

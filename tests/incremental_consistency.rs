@@ -87,7 +87,7 @@ fn cached_timeline_matches_uncached_under_faults() {
         .link_loss(0.2, 1)
         .build()
         .unwrap();
-    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let start = scenario::grid_start_spaced(region, 49, 9.3).unwrap();
 
     let mut deltas: Vec<Vec<f64>> = Vec::new();
     for threads in [1usize, 2, 8] {

@@ -159,7 +159,7 @@ fn cma_trajectories_are_identical_across_kernels() {
     let horizon = if cfg!(debug_assertions) { 6 } else { 20 };
     let mut runs = Vec::new();
     for kernel in [Kernel::Walk, Kernel::Raster] {
-        let start = scenario::grid_start_spaced(region, 60, 9.3);
+        let start = scenario::grid_start_spaced(region, 60, 9.3).unwrap();
         let mut sim = CmaBuilder::new(region, start)
             .evaluator(EvalOptions::new().kernel(kernel))
             .start_time(600.0)

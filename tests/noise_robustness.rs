@@ -48,7 +48,7 @@ fn cma_swarm_handles_noise_terrain() {
     use cps::sim::{scenario, CmaBuilder};
     let region = Rect::square(80.0).unwrap();
     let field = Static::new(NoiseField::new(11, 16.0, 20.0));
-    let start = scenario::grid_start_spaced(region, 49, 9.3);
+    let start = scenario::grid_start_spaced(region, 49, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start).run(field).unwrap();
     for _ in 0..20 {
         sim.step().unwrap();

@@ -18,7 +18,7 @@ fn scenario_setup() -> (LatentLightField, Rect, GridSpec) {
 #[test]
 fn cma_keeps_the_network_connected_through_45_minutes() {
     let (field, region, _grid) = scenario_setup();
-    let start = scenario::grid_start_spaced(region, 100, 9.3);
+    let start = scenario::grid_start_spaced(region, 100, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start)
         .start_time(600.0)
         .run(&field)
@@ -44,7 +44,7 @@ fn cma_keeps_the_network_connected_through_45_minutes() {
 #[test]
 fn cma_does_not_degrade_the_initial_reconstruction_much() {
     let (field, region, grid) = scenario_setup();
-    let start = scenario::grid_start_spaced(region, 100, 9.3);
+    let start = scenario::grid_start_spaced(region, 100, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region, start)
         .start_time(600.0)
         .run(&field)
@@ -90,7 +90,7 @@ fn stationary_regime_is_detected_on_a_flat_field() {
 #[test]
 fn evaluation_against_the_moving_truth_uses_the_right_instant() {
     let (field, region, grid) = scenario_setup();
-    let start = scenario::grid_start_spaced(region, 36, 9.3);
+    let start = scenario::grid_start_spaced(region, 36, 9.3).unwrap();
     let sim = CmaBuilder::new(region, start.clone())
         .start_time(600.0)
         .run(&field)

@@ -62,7 +62,7 @@ fn cma_stays_connected_and_does_not_regress() {
     let resolution = if cfg!(debug_assertions) { 41 } else { 101 };
     let field = LatentLightField::new(&ForestConfig::default());
     let grid = GridSpec::new(region(), resolution, resolution).unwrap();
-    let start = scenario::grid_start_spaced(region(), 100, 9.3);
+    let start = scenario::grid_start_spaced(region(), 100, 9.3).unwrap();
     let mut sim = CmaBuilder::new(region(), start)
         .start_time(600.0)
         .run(&field)

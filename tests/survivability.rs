@@ -97,7 +97,7 @@ fn lumpy_field() -> Static<GaussianMixtureField> {
 fn swarm_completes_run_with_cull_and_lossy_links() {
     let region = Rect::square(100.0).unwrap();
     let grid = GridSpec::new(region, 41, 41).unwrap();
-    let start = cps::sim::scenario::grid_start_spaced(region, 49, 9.3);
+    let start = cps::sim::scenario::grid_start_spaced(region, 49, 9.3).unwrap();
     // The acceptance scenario: 10% of the fleet culled mid-run plus 20%
     // per-attempt message loss, still a complete, measurable run.
     let plan = FaultPlan::parse("seed=3,cull=0.1@10,loss=0.2:2").unwrap();
@@ -145,7 +145,7 @@ fn swarm_completes_run_with_cull_and_lossy_links() {
 fn total_fleet_loss_degrades_delta_instead_of_erroring() {
     let region = Rect::square(100.0).unwrap();
     let grid = GridSpec::new(region, 41, 41).unwrap();
-    let start = cps::sim::scenario::grid_start_spaced(region, 16, 9.3);
+    let start = cps::sim::scenario::grid_start_spaced(region, 16, 9.3).unwrap();
     let plan = FaultPlan::builder().seed(2).cull(1.0, 3).build().unwrap();
     // A flat plane at z = 3 gives the live swarm a near-perfect
     // reconstruction (δ ≈ 0), so the empty-fleet constant-0 fallback

@@ -1,0 +1,129 @@
+//! Cross-crate guarantees of the batch sweep engine: aggregate JSON is
+//! bit-identical regardless of worker count, and an interrupted sweep
+//! resumed from its manifest finishes byte-identical to a run that was
+//! never interrupted.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cps_field::{GaussianBlob, Static};
+use cps_geometry::Point2;
+use cps_sim::sweep::{run_sweep, SweepJob, SweepManifest, SweepSpec};
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        seeds: vec![1, 2, 3],
+        k: vec![9, 16],
+        comm_radius: vec![10.0],
+        faults: vec![String::new(), "seed=7,kill=0@1".to_string()],
+        minutes: 3,
+        sample_every: 1,
+        resolution: 31,
+        ..SweepSpec::default()
+    }
+}
+
+fn field_for(job: &SweepJob) -> Static<GaussianBlob> {
+    Static::new(GaussianBlob::isotropic(
+        Point2::new(40.0 + job.seed as f64 * 11.0, 70.0),
+        45.0,
+        18.0,
+    ))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cps_sweep_it_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn aggregate_json_is_bit_identical_across_worker_counts() {
+    let spec = spec();
+    let reference = run_sweep(&spec, 1, None, false, field_for)
+        .unwrap()
+        .to_json()
+        .unwrap();
+    for workers in [2, 8] {
+        let json = run_sweep(&spec, workers, None, false, field_for)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            reference, json,
+            "aggregates drifted at {workers} workers — the fixed-order fold is broken"
+        );
+    }
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_byte_identical_output() {
+    let dir = temp_dir("resume");
+    let manifest_path = dir.join("sweep.manifest");
+    let spec = spec();
+    let digest = spec.digest();
+    let jobs = spec.jobs();
+
+    // The uninterrupted reference (writing its own manifest as it goes).
+    let reference = run_sweep(&spec, 2, Some(&manifest_path), false, field_for).unwrap();
+    let reference_json = reference.to_json().unwrap();
+
+    // Simulate a mid-sweep kill: a manifest that only saw some of the
+    // jobs complete, in an arbitrary (non-prefix) order.
+    let mut partial = SweepManifest::create(&manifest_path, digest).unwrap();
+    for i in [5usize, 0, 9, 2] {
+        partial
+            .record(
+                i as u64,
+                jobs[i].digest(digest),
+                reference.outcomes[i].clone(),
+            )
+            .unwrap();
+    }
+    let resumed = run_sweep(&spec, 8, Some(&manifest_path), true, field_for).unwrap();
+    assert_eq!(
+        reference_json,
+        resumed.to_json().unwrap(),
+        "resume must replay recorded outcomes and recompute the rest, byte-identically"
+    );
+
+    // A second resume finds everything recorded and recomputes nothing.
+    let replayed = run_sweep(&spec, 1, Some(&manifest_path), true, field_for).unwrap();
+    assert_eq!(reference_json, replayed.to_json().unwrap());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifests_from_a_different_spec_are_rejected_not_reused() {
+    let dir = temp_dir("foreign");
+    let manifest_path = dir.join("sweep.manifest");
+    let spec_a = spec();
+    run_sweep(&spec_a, 2, Some(&manifest_path), false, field_for).unwrap();
+
+    let spec_b = SweepSpec {
+        minutes: 4, // different grid ⇒ different digest
+        ..spec()
+    };
+    let err = run_sweep(&spec_b, 2, Some(&manifest_path), true, field_for).unwrap_err();
+    assert!(
+        matches!(err, cps_core::CoreError::SnapshotCorrupt { .. }),
+        "foreign manifest must be a typed rejection, got {err:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_axis_cells_record_deaths_and_survivors() {
+    let spec = spec();
+    let results = run_sweep(&spec, 2, None, false, field_for).unwrap();
+    assert_eq!(results.cells.len(), 4);
+    for pair in results.cells.chunks(2) {
+        let (clean, faulty) = (&pair[0], &pair[1]);
+        assert!(clean.fault_spec.is_empty());
+        assert_eq!(faulty.fault_spec, "seed=7,kill=0@1");
+        assert_eq!(clean.mean_deaths, 0.0);
+        assert!(faulty.mean_deaths >= 1.0, "the scheduled kill must land");
+        assert!(faulty.mean_alive < clean.mean_alive);
+    }
+}
