@@ -443,7 +443,7 @@ fn bench_sweep() -> SweepEntry {
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).expect("bench temp dir");
     let manifest_path = dir.join("sweep.manifest");
-    let digest = spec.digest();
+    let digest = spec.digest().expect("finite spec digests");
     let expanded = spec.jobs();
     let mut partial = cps_sim::SweepManifest::create(&manifest_path, digest).expect("manifest");
     for i in (0..jobs).step_by(2) {

@@ -11,8 +11,8 @@ use cps_geometry::{GridSpec, Point2, Rect};
 use cps_greenorbs::{Channel, Dataset, ForestConfig, LatentLightField};
 use cps_network::UnitDiskGraph;
 use cps_sim::{
-    run_sweep, scenario, CheckpointDir, CheckpointPolicy, CmaBuilder, DeltaTimeline, FaultEvent,
-    FaultPlan, SweepSpec, TrajectoryRecorder,
+    run_sweep, scenario, CheckpointDir, CheckpointPolicy, CmaBuilder, DeltaTimeline, EngineBuilder,
+    FaultEvent, FaultPlan, OptimizerKind, RunRecorder, SweepSpec, TrajectoryRecorder,
 };
 use cps_viz::{ascii_heatmap, ascii_scatter, field_to_pgm, trajectories_svg, SvgStyle};
 
@@ -32,7 +32,8 @@ commands:
             plan a stationary deployment with FRA and report its quality
   simulate  [--k 100] [--minutes 45] [--seed N] [--svg swarm.svg] [--threads N]
             [--faults spec] [--report out.json] [--metrics metrics.json] [--cache on]
-            [--kernel walk|raster] [--checkpoint-dir DIR] [--checkpoint-every N]
+            [--kernel walk|raster] [--optimizer cma|fra|hybrid]
+            [--checkpoint-dir DIR] [--checkpoint-every N]
             [--checkpoint-on-fault on] [--resume on]
             run the CMA mobile swarm on the latent light field; --faults
             injects a deterministic fault schedule (comma-separated
@@ -61,6 +62,15 @@ delta quadrature kernel: `raster` (the default) sweeps each alive
 triangle with an incremental scanline fill, `walk` is the legacy
 per-cell point-location sweep; the two agree to within 1e-9 and a
 resumed simulation keeps the kernel recorded in its snapshot.
+
+--optimizer selects the deployment optimizer for `simulate`: `cma` (the
+default) starts from the evenly spaced grid and runs the paper's OSTD
+movement loop; `fra` places the fleet with the paper's OSD refinement
+algorithm against the light surface frozen at the start hour and holds
+position (the movement loop is skipped); `hybrid` uses the FRA
+placement as the starting formation and then polishes it with the CMA
+movement loop. The flag is ignored on --resume: a checkpoint already
+fixes the formation it was taken from.
 
 --metrics turns on the instrumentation layer (algorithm counters and
 per-phase wall-clock timers, off by default) and writes the structured
@@ -213,6 +223,7 @@ pub fn simulate(args: &Args) -> CmdResult {
     let checkpoint_every = args.u64_or("checkpoint-every", 0)?;
     let checkpoint_on_fault = args.bool_or("checkpoint-on-fault", false)?;
     let resume = args.bool_or("resume", false)?;
+    let optimizer: OptimizerKind = args.string_or("optimizer", "cma").parse()?;
     let par = Parallelism::from_threads(args.usize_or("threads", 0)?);
     let eval = EvalOptions::new()
         .parallelism(par)
@@ -261,10 +272,16 @@ pub fn simulate(args: &Args) -> CmdResult {
     let field = LatentLightField::new(&config);
     let label = format!("forest,seed={seed}");
     let grid = GridSpec::new(region(), 101, 101)?;
-    let (mut sim, mut timeline, mut survivability, start_minute) = match resumed {
+    let was_resumed = resumed.is_some();
+    let (mut sim, timeline, survivability, start_minute) = match resumed {
         Some((snapshot, path)) => {
             // Cache and kernel come from the snapshot, not the flags: a
-            // resume must stay on the recorded arithmetic path.
+            // resume must stay on the recorded arithmetic path. The
+            // optimizer flag is likewise moot — the checkpoint already
+            // fixes the formation it was taken from.
+            if optimizer != OptimizerKind::Cma {
+                println!("--optimizer is ignored on resume; continuing the checkpointed run");
+            }
             let opts = EvalOptions::new()
                 .parallelism(par)
                 .cached(snapshot.eval_cached)
@@ -290,7 +307,22 @@ pub fn simulate(args: &Args) -> CmdResult {
             if resume {
                 println!("no valid checkpoint in {checkpoint_dir}; starting fresh");
             }
-            let start = scenario::grid_start_spaced(region(), k, 9.3)?;
+            let start = match optimizer {
+                OptimizerKind::Cma => scenario::grid_start_spaced(region(), k, 9.3)?,
+                OptimizerKind::Fra | OptimizerKind::Hybrid => {
+                    let (positions, refined, relays) = EngineBuilder::new(region(), k)
+                        .optimizer(optimizer)
+                        .evaluator(eval)
+                        .start_time(600.0)
+                        .placement(&field)?;
+                    println!(
+                        "fra placement: {} nodes ({refined} error-refined, {relays} relays)",
+                        positions.len()
+                    );
+                    positions
+                }
+            };
+            let fleet = start.len();
             let mut builder = CmaBuilder::new(region(), start)
                 .evaluator(eval)
                 .start_time(600.0);
@@ -298,23 +330,45 @@ pub fn simulate(args: &Args) -> CmdResult {
                 builder = builder.faults(FaultPlan::parse(&faults_spec)?);
             }
             let sim = builder.run(&field)?;
-            let mut timeline = DeltaTimeline::for_simulation(&sim);
-            let mut survivability = SurvivabilityTracker::new(k);
-            let e0 = timeline.record(&sim, &grid)?;
-            survivability.observe_slot(sim.time(), sim.alive_count(), 1, Some(e0.delta));
-            println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
+            let timeline = DeltaTimeline::for_simulation(&sim);
+            let survivability = SurvivabilityTracker::new(fleet);
             (sim, timeline, survivability, 0)
         }
     };
+    // OSD is a static deployment: with --optimizer fra the placement
+    // *is* the answer and the movement loop never runs.
+    let run_minutes = if optimizer == OptimizerKind::Fra && !was_resumed {
+        if minutes > 0 {
+            println!("optimizer fra: static deployment; skipping the movement loop");
+        }
+        start_minute
+    } else {
+        minutes
+    };
+    // The cross-cutting consumers — δ timeline, survivability ledger,
+    // checkpoint policy — ride the step-observer bus instead of being
+    // hand-wired into the loop body.
+    let mut recorder = RunRecorder::new()
+        .timeline(timeline, grid)
+        .sample_every(5)
+        .final_slot(run_minutes as u64)
+        .survivability(survivability);
+    if let Some(store) = store {
+        recorder = recorder.checkpoints(policy, store, &label);
+    }
+    let mut recorder = recorder.sync_events(&sim);
+    if !was_resumed {
+        let e0 = recorder
+            .prime(&sim)?
+            .ok_or("recorder lost its timeline during priming")?;
+        println!("t=10:00  delta {:.1}  connected {}", e0.delta, e0.connected);
+    }
     let mut tracks = TrajectoryRecorder::new();
     tracks.record(&sim);
-    let mut events_seen = sim.fault_events().len();
-    for minute in (start_minute + 1)..=minutes {
-        let r = sim.step()?;
+    for minute in (start_minute + 1)..=run_minutes {
+        let r = sim.step_observed(&mut [&mut recorder])?;
         tracks.record(&sim);
-        survivability.observe_messages(r.messages, r.retried, r.dropped);
-        let sampled = if minute % 5 == 0 || minute == minutes {
-            let e = timeline.record(&sim, &grid)?;
+        if let Some(e) = recorder.take_sample() {
             println!(
                 "t=10:{minute:02}  delta {:.1}  connected {}  moved {}  lcm {}{}",
                 e.delta,
@@ -327,26 +381,13 @@ pub fn simulate(args: &Args) -> CmdResult {
                     String::new()
                 },
             );
-            Some(e.delta)
-        } else {
-            None
-        };
-        survivability.observe_slot(sim.time(), sim.alive_count(), r.components, sampled);
-        if let Some(store) = &store {
-            let fresh_events = sim.fault_events().len() - events_seen;
-            events_seen = sim.fault_events().len();
-            if policy.due(minute as u64, fresh_events) {
-                // Snapshot *after* this minute's records so a resume
-                // continues the report series without gaps.
-                let mut snapshot = sim.checkpoint();
-                snapshot.label = label.clone();
-                snapshot.attach_timeline(&timeline);
-                snapshot.attach_survivability(&survivability);
-                let path = store.store(&snapshot)?;
-                println!("checkpoint: {}", path.display());
-            }
+        }
+        if let Some(path) = recorder.take_checkpoint() {
+            println!("checkpoint: {}", path.display());
         }
     }
+    let (_, survivability) = recorder.into_parts();
+    let mut survivability = survivability.ok_or("recorder lost the survivability tracker")?;
     let survivability_report = if !faults_spec.is_empty() {
         let survivors = UnitDiskGraph::new(sim.positions(), sim.config().cps.comm_radius())?;
         survivability.set_critical_nodes(survivors.critical_nodes());
@@ -439,7 +480,7 @@ pub fn sweep(args: &Args) -> CmdResult {
         jobs.len(),
         jobs.len() / spec.seeds.len(),
         spec.seeds.len(),
-        spec.digest()
+        spec.digest()?
     );
     // Each job's field is rebuilt from its seed, so a resumed sweep
     // sees exactly the fields the interrupted one did.

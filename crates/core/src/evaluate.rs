@@ -4,8 +4,7 @@
 //! The single entry point is [`DeltaEvaluator`]: a builder holding the
 //! reference field, grid, and communication radius, with options for
 //! the thread policy, survivor-mask graceful degradation, and the
-//! incremental tile cache ([`cps_field::DeltaCache`]). The four legacy
-//! free functions remain as thin deprecated shims over it.
+//! incremental tile cache ([`cps_field::DeltaCache`]).
 
 use cps_field::{
     delta, DeltaCache, Field, FieldError, Kernel, Parallelism, PlaneField, ReconstructedSurface,
@@ -90,7 +89,7 @@ impl Default for EvalOptions {
 /// the node positions, rebuilds `z* = DT(x, y)`, and measures δ and RMS
 /// over the grid, along with unit-disk connectivity.
 ///
-/// Replaces the deprecated `evaluate_deployment` /
+/// Replaces the removed legacy `evaluate_deployment` /
 /// `evaluate_deployment_with` / `evaluate_survivors` /
 /// `evaluate_survivors_with` quartet:
 ///
@@ -318,93 +317,6 @@ pub(crate) fn constant_fallback(samples: &[f64]) -> PlaneField {
         samples.iter().sum::<f64>() / samples.len() as f64
     };
     PlaneField::new(0.0, 0.0, mean)
-}
-
-/// Samples `reference` at the node positions, rebuilds the surface, and
-/// measures δ with the serial quadrature.
-///
-/// # Errors
-///
-/// Same contract as [`DeltaEvaluator::evaluate`] without a mask.
-#[deprecated(since = "0.2.0", note = "use DeltaEvaluator::new(..).evaluate(..)")]
-pub fn evaluate_deployment<F: Field + Sync>(
-    reference: &F,
-    positions: &[Point2],
-    comm_radius: f64,
-    grid: &GridSpec,
-) -> Result<DeploymentEvaluation, CoreError> {
-    DeltaEvaluator::new(reference, grid, comm_radius)
-        .parallelism(Parallelism::serial())
-        .evaluate(positions)
-}
-
-/// Like [`evaluate_deployment`] on the row-sharded parallel engine;
-/// bit-identical at any thread count.
-///
-/// # Errors
-///
-/// Same contract as [`DeltaEvaluator::evaluate`] without a mask.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DeltaEvaluator::new(..).parallelism(par).evaluate(..)"
-)]
-pub fn evaluate_deployment_with<F: Field + Sync>(
-    reference: &F,
-    positions: &[Point2],
-    comm_radius: f64,
-    grid: &GridSpec,
-    par: Parallelism,
-) -> Result<DeploymentEvaluation, CoreError> {
-    DeltaEvaluator::new(reference, grid, comm_radius)
-        .parallelism(par)
-        .evaluate(positions)
-}
-
-/// Like [`evaluate_deployment`], but degrades to the constant surface
-/// through the survivor-sample mean below three distinct positions.
-///
-/// # Errors
-///
-/// Same contract as [`DeltaEvaluator::evaluate`] with survivors
-/// enabled.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DeltaEvaluator::new(..).survivors(true).evaluate(..)"
-)]
-pub fn evaluate_survivors<F: Field + Sync>(
-    reference: &F,
-    positions: &[Point2],
-    comm_radius: f64,
-    grid: &GridSpec,
-) -> Result<DeploymentEvaluation, CoreError> {
-    DeltaEvaluator::new(reference, grid, comm_radius)
-        .parallelism(Parallelism::serial())
-        .survivors(true)
-        .evaluate(positions)
-}
-
-/// Like [`evaluate_survivors`] on the parallel engine; bit-identical at
-/// any thread count.
-///
-/// # Errors
-///
-/// Same contract as [`DeltaEvaluator::evaluate`] with survivors
-/// enabled.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DeltaEvaluator::new(..).survivors(true).parallelism(par).evaluate(..)"
-)]
-pub fn evaluate_survivors_with<F: Field + Sync>(
-    reference: &F,
-    positions: &[Point2],
-    comm_radius: f64,
-    grid: &GridSpec,
-    par: Parallelism,
-) -> Result<DeploymentEvaluation, CoreError> {
-    DeltaEvaluator::new(reference, grid, comm_radius)
-        .parallelism(par)
-        .survivors(true)
-        .evaluate(positions)
 }
 
 #[cfg(test)]
@@ -649,30 +561,5 @@ mod tests {
             assert_eq!(serial.delta.to_bits(), p.delta.to_bits(), "{par:?}");
             assert_eq!(serial.rms.to_bits(), p.rms.to_bits(), "{par:?}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_bit_identically() {
-        let (region, grid) = setting();
-        let f = PeaksField::new(region, 8.0);
-        let nodes: Vec<Point2> = region
-            .corners()
-            .into_iter()
-            .chain([Point2::new(33.0, 57.0)])
-            .collect();
-        let new = DeltaEvaluator::new(&f, &grid, 50.0)
-            .parallelism(Parallelism::serial())
-            .evaluate(&nodes)
-            .unwrap();
-        let old = evaluate_deployment(&f, &nodes, 50.0, &grid).unwrap();
-        assert_eq!(new.delta.to_bits(), old.delta.to_bits());
-        let old_par = evaluate_deployment_with(&f, &nodes, 50.0, &grid, Parallelism::fixed(2));
-        assert_eq!(new.delta.to_bits(), old_par.unwrap().delta.to_bits());
-        let two = vec![Point2::new(10.0, 10.0), Point2::new(15.0, 10.0)];
-        let surv = evaluate_survivors(&f, &two, 10.0, &grid).unwrap();
-        let surv_par =
-            evaluate_survivors_with(&f, &two, 10.0, &grid, Parallelism::fixed(2)).unwrap();
-        assert_eq!(surv.delta.to_bits(), surv_par.delta.to_bits());
     }
 }

@@ -62,10 +62,6 @@ pub use config::CpsConfig;
 pub use coverage::{coverage_histogram, sensing_coverage};
 pub use cps_field::Kernel;
 pub use error::CoreError;
-#[allow(deprecated)]
-pub use evaluate::{
-    evaluate_deployment, evaluate_deployment_with, evaluate_survivors, evaluate_survivors_with,
-};
 pub use evaluate::{DeltaEvaluator, DeploymentEvaluation, EvalOptions};
 pub use problem::{OsdProblem, OstdProblem};
 pub use report::{

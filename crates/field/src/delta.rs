@@ -233,10 +233,11 @@ pub fn rms_difference_with<F: Field + Sync, G: Field + Sync>(
     (ss / grid.len() as f64).sqrt()
 }
 
-/// δ and RMS of `|reference − surface|` under the chosen [`Kernel`]:
-/// [`Kernel::Walk`] runs the classic per-cell locate-walk pair
-/// ([`volume_difference_with`] + [`rms_difference_with`], two sweeps),
-/// [`Kernel::Raster`] the fused scanline kernel
+/// δ and RMS of `|reference − surface|` under the chosen
+/// [`Kernel`](crate::Kernel): [`Walk`](crate::Kernel::Walk) runs the
+/// classic per-cell locate-walk pair ([`volume_difference_with`] +
+/// [`rms_difference_with`], two sweeps),
+/// [`Raster`](crate::Kernel::Raster) the fused scanline kernel
 /// ([`crate::raster::delta_rms_raster`], one sweep). Both agree within
 /// quadrature tolerance (≤1e-9 relative) and each is bit-identical
 /// across thread counts.

@@ -255,7 +255,7 @@ impl Triangulation {
     /// successful [`Triangulation::insert`], if any.
     ///
     /// The paper's FRA uses this to update local errors only where "new
-    /// triangles [were] generated" (Table 1, line 11) rather than over
+    /// triangles \[were\] generated" (Table 1, line 11) rather than over
     /// the whole region.
     #[inline]
     pub fn last_insert_bbox(&self) -> Option<(Point2, Point2)> {

@@ -98,11 +98,14 @@ pub enum Counter {
     SweepJobs,
     /// Sweep jobs restored from a manifest instead of re-simulated.
     SweepResumed,
+    /// Simulation slots stepped through the stage pipeline (counted by
+    /// the engine's built-in observer adapter).
+    SimSteps,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 21] = [
         Counter::DelaunayInserts,
         Counter::CavityRecomputes,
         Counter::FullGridRecomputes,
@@ -123,6 +126,7 @@ impl Counter {
         Counter::PoolTasks,
         Counter::SweepJobs,
         Counter::SweepResumed,
+        Counter::SimSteps,
     ];
 
     /// Stable snake_case key used in [`RunMetrics`] JSON.
@@ -148,6 +152,7 @@ impl Counter {
             Counter::PoolTasks => "pool_tasks",
             Counter::SweepJobs => "sweep_jobs",
             Counter::SweepResumed => "sweep_resumed",
+            Counter::SimSteps => "sim_steps",
         }
     }
 }
@@ -186,6 +191,22 @@ pub enum Phase {
     /// One batch-sweep job: a full simulation run plus its δ timeline
     /// and outcome extraction.
     SweepJob,
+    /// Stage pipeline: slot-start fault deaths (`FaultStage`).
+    StageFault,
+    /// Stage pipeline: slot-start world snapshot — alive set,
+    /// unit-disk graph, components (`SenseStage`).
+    StageSense,
+    /// Stage pipeline: message-level fault draws and attempt
+    /// accounting (`ExchangeStage`).
+    StageExchange,
+    /// Stage pipeline: partition-recovery overrides (`RecoveryStage`).
+    StageRecovery,
+    /// Stage pipeline: CMA decisions, speed clamp, LCM repair, and
+    /// position application (`OptimizeStage`).
+    StageOptimize,
+    /// Stage pipeline: clock advance, gossip scale, battery drain, and
+    /// report assembly (`RecordStage`).
+    StageRecord,
 }
 
 impl Phase {
@@ -203,6 +224,12 @@ impl Phase {
             Phase::CheckpointWrite => "checkpoint_write",
             Phase::DeltaRaster => "delta_raster",
             Phase::SweepJob => "sweep_job",
+            Phase::StageFault => "stage_fault",
+            Phase::StageSense => "stage_sense",
+            Phase::StageExchange => "stage_exchange",
+            Phase::StageRecovery => "stage_recovery",
+            Phase::StageOptimize => "stage_optimize",
+            Phase::StageRecord => "stage_record",
         }
     }
 }
@@ -210,7 +237,8 @@ impl Phase {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// One slot per [`Counter::ALL`] entry.
-static COUNTERS: [AtomicU64; 20] = [
+static COUNTERS: [AtomicU64; 21] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

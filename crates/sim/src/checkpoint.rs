@@ -147,6 +147,12 @@ pub struct SimSnapshot {
     /// [`Kernel::Walk`], so old runs resume on the exact arithmetic
     /// path they were taken with.
     pub eval_kernel: Kernel,
+    /// Stage names of the pipeline that produced this snapshot, in
+    /// execution order. Snapshots written before the stage pipeline
+    /// existed decode as the standard sequence; restore rejects
+    /// anything else, because resuming a run under a different stage
+    /// order could not be bit-identical to the uninterrupted one.
+    pub pipeline: Vec<String>,
     /// The full fleet, dead nodes included.
     pub nodes: Vec<MobileNode>,
     /// Fault-runtime state (None for pristine runs).
@@ -368,6 +374,15 @@ impl SimSnapshot {
                 "eval_kernel",
                 Value::String(self.eval_kernel.as_str().to_string()),
             ),
+            (
+                "pipeline",
+                Value::Array(
+                    self.pipeline
+                        .iter()
+                        .map(|s| Value::String(s.clone()))
+                        .collect(),
+                ),
+            ),
             ("nodes", Value::Array(nodes)),
             ("fault", fault),
             ("timeline", timeline),
@@ -412,6 +427,23 @@ impl SimSnapshot {
             Value::Null => None,
             s => Some(decode_survivability(s)?),
         };
+        // Lenient like `eval_kernel`: snapshots written before the
+        // stage pipeline existed ran the standard sequence.
+        let pipeline = match value.get("pipeline") {
+            None | Some(Value::Null) => crate::stage::STANDARD_STAGES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            Some(Value::Array(stages)) => stages
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| corrupt("pipeline stage names must be strings".to_string()))
+                })
+                .collect::<Result<Vec<String>, CoreError>>()?,
+            Some(_) => return Err(corrupt("pipeline must be an array".to_string())),
+        };
         Ok(SimSnapshot {
             label: dec_str(value, "label")?,
             slot: dec_u64(value, "slot")?,
@@ -427,6 +459,7 @@ impl SimSnapshot {
             curvature_scale: dec_f64(value, "curvature_scale")?,
             eval_cached: dec_bool(value, "eval_cached")?,
             eval_kernel: dec_kernel(value)?,
+            pipeline,
             nodes,
             fault,
             timeline,
@@ -1263,6 +1296,10 @@ mod tests {
             curvature_scale: 0.012_345_678_901_234_5,
             eval_cached: true,
             eval_kernel: Kernel::Raster,
+            pipeline: crate::stage::STANDARD_STAGES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             nodes: vec![
                 MobileNode {
                     id: 0,

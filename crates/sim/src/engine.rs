@@ -1,17 +1,14 @@
 //! The simulation world and stepping engine.
 
-use std::collections::HashSet;
-
-use cps_core::ostd::lcm;
-use cps_core::ostd::{cma_step, CmaAction, CmaConfig, NeighborInfo};
+use cps_core::ostd::CmaConfig;
 use cps_core::{CoreError, CpsConfig, EvalOptions};
 use cps_field::par::map_rows;
 use cps_field::{Parallelism, TimeVaryingField};
 use cps_geometry::{Point2, Rect};
-use cps_network::{articulation_points, UnitDiskGraph};
 
 use crate::checkpoint::{FaultState, SimSnapshot};
-use crate::fault::{recovery_overrides, FaultEvent, FaultPlan, FaultRuntime, SensorFault};
+use crate::fault::{FaultEvent, FaultPlan, FaultRuntime};
+use crate::stage::{EventBus, StagePipeline, StepCtx, StepEvent, StepObserver};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,24 +87,24 @@ pub struct StepReport {
 /// A running OSTD simulation over a time-varying field.
 #[derive(Debug, Clone)]
 pub struct Simulation<F> {
-    field: F,
-    region: Rect,
-    config: SimConfig,
-    cma: CmaConfig,
-    nodes: Vec<MobileNode>,
-    time: f64,
+    pub(crate) field: F,
+    pub(crate) region: Rect,
+    pub(crate) config: SimConfig,
+    pub(crate) cma: CmaConfig,
+    pub(crate) nodes: Vec<MobileNode>,
+    pub(crate) time: f64,
     /// Slots stepped since construction (the checkpointable clock: the
     /// fault schedule and every per-slot RNG stream are indexed by it).
-    slot: u64,
+    pub(crate) slot: u64,
     /// Decaying running maximum of observed node curvatures — the
     /// gossiped normalization reference fed to every CMA step.
-    curvature_scale: f64,
+    pub(crate) curvature_scale: f64,
     /// Fault-injection state; `None` runs the pristine fast path.
-    fault: Option<FaultRuntime>,
+    pub(crate) fault: Option<FaultRuntime>,
     /// The δ-evaluation options declared at build time
     /// ([`CmaBuilder::evaluator`]) for consumers measuring this run
     /// (e.g. `DeltaTimeline`).
-    eval: EvalOptions,
+    pub(crate) eval: EvalOptions,
 }
 
 impl<F: TimeVaryingField + Sync> Simulation<F> {
@@ -246,6 +243,15 @@ impl<F: TimeVaryingField + Sync> Simulation<F> {
         if snapshot.nodes.is_empty() {
             return Err(bad("snapshot carries no nodes".to_string()));
         }
+        // A snapshot taken under a different stage order cannot resume
+        // bit-identically under the standard pipeline.
+        if snapshot.pipeline != crate::stage::STANDARD_STAGES {
+            return Err(bad(format!(
+                "snapshot pipeline {:?} is not the standard stage sequence {:?}",
+                snapshot.pipeline,
+                crate::stage::STANDARD_STAGES
+            )));
+        }
         // The engine indexes `nodes` by stable id.
         if snapshot.nodes.iter().enumerate().any(|(i, n)| n.id != i) {
             return Err(bad("node ids must be dense and in order".to_string()));
@@ -339,6 +345,10 @@ impl<F: TimeVaryingField> Simulation<F> {
             curvature_scale: self.curvature_scale,
             eval_cached: self.eval.cached,
             eval_kernel: self.eval.kernel,
+            pipeline: crate::stage::STANDARD_STAGES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             nodes: self.nodes.clone(),
             fault: self.fault.as_ref().map(|rt| FaultState {
                 plan: rt.plan.clone(),
@@ -488,13 +498,13 @@ impl<F: TimeVaryingField> Simulation<F> {
     /// surroundings. Clipping the disc at the border would hand border
     /// nodes one-sided sample sets whose quadric fits alias the local
     /// gradient into phantom curvature, sending them chasing artefacts.
-    fn sense(&self, center: Point2) -> Vec<(Point2, f64)> {
+    pub(crate) fn sense(&self, center: Point2) -> Vec<(Point2, f64)> {
         self.sense_at(center, self.time)
     }
 
     /// [`Simulation::sense`] at an explicit time — a stuck sensor keeps
     /// sampling the field as of the instant it froze.
-    fn sense_at(&self, center: Point2, time: f64) -> Vec<(Point2, f64)> {
+    pub(crate) fn sense_at(&self, center: Point2, time: f64) -> Vec<(Point2, f64)> {
         let rs = self.config.cps.sensing_radius();
         let s = self.config.sense_spacing;
         let steps = (rs / s).floor() as i32;
@@ -512,288 +522,66 @@ impl<F: TimeVaryingField> Simulation<F> {
 }
 
 impl<F: TimeVaryingField + Sync> Simulation<F> {
-    /// Advances the simulation by one time slot.
-    ///
-    /// Phases (all decisions use only slot-start information, matching
-    /// the synchronous single-hop exchange of Table 2):
-    ///
-    /// 1. every node senses and runs its CMA iteration, producing a
-    ///    desired destination (or stay);
-    /// 2. desired moves are clamped to the node speed `v·Δt`;
-    /// 3. the LCM pass lets announced moves drag would-be-stranded
-    ///    neighbors along (their own moves are also speed-clamped);
-    /// 4. positions update, clamped to the region.
+    /// Advances the simulation by one time slot through the standard
+    /// [`StagePipeline`]: fault deaths, world snapshot, exchange-level
+    /// fault draws, recovery overrides, the CMA/LCM movement plan,
+    /// then end-of-slot records (see [`crate::stage`] for the stage
+    /// taxonomy and the determinism argument).
     ///
     /// # Errors
     ///
-    /// Propagates CMA failures (insufficient sensing samples — cannot
-    /// happen with a valid configuration).
+    /// Propagates stage failures (e.g. CMA fit errors on insufficient
+    /// sensing samples — cannot happen with a valid configuration).
     pub fn step(&mut self) -> Result<StepReport, CoreError> {
-        let rc = self.config.cps.comm_radius();
-        let max_move = self.config.cps.max_speed() * self.config.time_step;
-        let obs_threads = self.config.parallelism.threads();
+        self.step_observed(&mut [])
+    }
 
-        // Phase 0 (fault plan only): slot-start deaths, drawn serially
-        // from this slot's dedicated stream so results stay
-        // bit-identical at any thread count.
-        let mut slot_rng = self.fault.as_ref().map(|rt| rt.slot_rng());
-        let mut deaths = 0usize;
-        if let (Some(rt), Some(rng)) = (self.fault.as_mut(), slot_rng.as_mut()) {
-            let mut alive: Vec<bool> = self.nodes.iter().map(|n| n.alive).collect();
-            deaths = rt.apply_deaths(rng, &mut alive, self.time);
-            if deaths > 0 {
-                for (node, &a) in self.nodes.iter_mut().zip(&alive) {
-                    node.alive = a;
-                }
-            }
-        }
+    /// [`step`](Simulation::step) with [`StepObserver`]s riding the
+    /// event bus: each receives the slot brackets, the stage brackets,
+    /// and read access to the stepped world (see
+    /// [`StepEvent`](crate::StepEvent)).
+    ///
+    /// Observers cannot perturb the arithmetic — a run with observers
+    /// is bit-identical to one without.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures and observer failures (e.g. a failed
+    /// checkpoint write), whichever happens first.
+    pub fn step_observed(
+        &mut self,
+        observers: &mut [&mut dyn StepObserver<F>],
+    ) -> Result<StepReport, CoreError> {
+        self.step_with(&mut StagePipeline::standard(), observers)
+    }
 
-        // All per-slot arrays below are indexed by *alive index*; the
-        // mapping back to stable node ids is `alive_ids`.
-        let alive_ids: Vec<usize> = self
-            .nodes
-            .iter()
-            .filter(|n| n.alive)
-            .map(|n| n.id)
-            .collect();
-        let positions = self.positions();
-        let graph = UnitDiskGraph::new(positions.clone(), rc)?;
-        let components = graph.component_count();
-
-        // Remaining fault draws for the slot (still serial): sensor
-        // faults per survivor, then directed link outages per edge.
-        // Partition bookkeeping and relay re-planning piggyback on the
-        // freshly built graph.
-        let mut sensor_faults: Vec<SensorFault> = Vec::new();
-        let mut link_down: HashSet<(usize, usize)> = HashSet::new();
-        let mut recovery: Vec<Option<Point2>> = Vec::new();
-        let mut retried = 0usize;
-        let mut dropped = 0usize;
-        let mut attempt_messages = None;
-        if let (Some(rt), Some(rng)) = (self.fault.as_mut(), slot_rng.as_mut()) {
-            let critical = if components >= 2 {
-                articulation_points(&graph).len()
-            } else {
-                0
-            };
-            rt.observe_topology(components, critical, self.time);
-            sensor_faults = rt.draw_sensor_faults(rng, &alive_ids, self.time);
-            let (down, re, dr, attempts) = rt.draw_link_outages(rng, &graph);
-            link_down = down;
-            retried = re;
-            dropped = dr;
-            attempt_messages = Some(attempts);
-            if components >= 2 && rt.plan.recovery_active() {
-                cps_obs::count(cps_obs::Counter::RelayReplans);
-                recovery = recovery_overrides(&graph);
-            }
-        }
-        let mut messages = attempt_messages.unwrap_or_else(|| 2 * graph.edge_count());
-
-        // Phase 1: sense + curvature + CMA decision per node. Each
-        // node's decision depends only on slot-start state, so the
-        // phase fans out across the row-sharded engine; every per-node
-        // result is bit-identical at any thread count.
-        let mut cfg = self.cma;
-        cfg.curvature_scale = self.curvature_scale;
-        let decisions = {
-            let _t = cps_obs::time(cps_obs::Phase::CmaCurvature, obs_threads);
-            let this = &*self;
-            let positions = &positions;
-            let alive_ids = &alive_ids;
-            let graph = &graph;
-            let cfg = &cfg;
-            let sensor_faults = &sensor_faults;
-            let link_down = &link_down;
-            map_rows(alive_ids.len(), self.config.parallelism, move |i| {
-                let p = positions[i];
-                let fault = sensor_faults.get(i).copied().unwrap_or(SensorFault::None);
-                if fault == SensorFault::Dropout {
-                    // No reading this slot: keep the previous curvature
-                    // estimate, hold position, stay reachable for LCM.
-                    return Ok::<_, CoreError>((this.nodes[alive_ids[i]].curvature, None));
-                }
-                // A stuck sensor keeps reporting the field as of the
-                // instant it froze.
-                let sense_time = match fault {
-                    SensorFault::Stuck { frozen_time } => frozen_time,
-                    _ => this.time,
-                };
-                let sensed = this.sense_at(p, sense_time);
-                let neighbors: Vec<NeighborInfo> = graph
-                    .neighbors(i)
-                    .iter()
-                    .filter(|&&j| !link_down.contains(&(j, i)))
-                    .map(|&j| NeighborInfo {
-                        position: positions[j],
-                        curvature: this.nodes[alive_ids[j]].curvature,
-                    })
-                    .collect();
-                let mut value = this.field.value_at(p, sense_time);
-                if let SensorFault::Outlier(delta) = fault {
-                    // Corrupt only the node's own point reading: the
-                    // lattice is intact, so the quadric fit sees a
-                    // phantom spike at the center rather than a uniform
-                    // (curvature-invisible) offset.
-                    value += delta;
-                }
-                let out = cma_step(p, value, &sensed, &neighbors, cfg)?;
-                let dest = match out.action {
-                    CmaAction::MoveTo(dest) => Some(dest),
-                    _ => None,
-                };
-                Ok::<_, CoreError>((out.curvature, dest))
-            })
-        };
-        let mut desired: Vec<Option<Point2>> = vec![None; alive_ids.len()];
-        let mut new_curvature = vec![0.0; alive_ids.len()];
-        for (i, decision) in decisions.into_iter().enumerate() {
-            let (curvature, dest) = decision?;
-            new_curvature[i] = curvature;
-            // A recovery bridgehead overrides its own CMA decision and
-            // marches toward the opposite shore of the partition gap.
-            let dest = recovery.get(i).copied().flatten().or(dest);
-            if dest.is_some() {
-                messages += 1; // the mover's tell(nd, N) broadcast
-            }
-            desired[i] = dest;
-        }
-
-        // Phase 2: speed clamp.
-        let mut next: Vec<Point2> = positions.clone();
-        {
-            let _t = cps_obs::time(cps_obs::Phase::CmaMove, 1);
-            for i in 0..alive_ids.len() {
-                if let Some(dest) = desired[i] {
-                    let step = (dest - positions[i]).clamp_norm(max_move);
-                    next[i] = self.region.clamp(positions[i] + step);
-                }
-            }
-        }
-
-        // Phase 3: LCM — cooperative connectivity maintenance
-        // (Table 2 lines 19–21 plus the paper's "move cooperatively"
-        // reading). For every mover and each of its slot-start
-        // neighbors, the edge must survive the slot unless a bridge
-        // neighbor covers it (Fig. 4's rule). Repairs are two-sided:
-        // the stranded neighbor closes toward the mover's destination,
-        // and if it cannot keep up within its speed budget the mover
-        // backs off its own move — a follower chasing a runaway at
-        // equal speed would otherwise never re-connect. Iterated to a
-        // fixed point because repairs can invalidate other edges.
-        let mut lcm_followers = 0usize;
-        let mut adjusted = next.clone();
-        let _lcm_timer = cps_obs::time(cps_obs::Phase::CmaForce, 1);
-        const LCM_ROUNDS: usize = 16;
-        for _ in 0..LCM_ROUNDS {
-            let mut changed = false;
-            for i in 0..alive_ids.len() {
-                // Every displaced node broadcasts tell(): CMA movers and
-                // nodes displaced by earlier LCM repairs alike — a
-                // dragged node endangers its own star too.
-                if adjusted[i].distance(positions[i]) <= 1e-12 {
-                    continue;
-                }
-                let nbrs = graph.neighbors(i);
-                for &j in nbrs {
-                    if link_down.contains(&(i, j)) {
-                        // The mover's tell() never reached this
-                        // neighbor: no cooperative repair on this edge
-                        // this slot.
-                        continue;
-                    }
-                    if adjusted[j].distance(adjusted[i]) <= rc {
-                        continue;
-                    }
-                    // Bridged through another of i's former neighbors,
-                    // at planned positions?
-                    let bridged = nbrs.iter().any(|&k| {
-                        k != j
-                            && adjusted[j].distance(adjusted[k]) <= rc
-                            && adjusted[k].distance(adjusted[i]) <= rc
-                    });
-                    if bridged {
-                        continue;
-                    }
-                    // The neighbor closes toward the mover's planned
-                    // position, within its speed budget.
-                    let target = lcm::follow_position(adjusted[j], adjusted[i], 0.98 * rc);
-                    let step = (target - positions[j]).clamp_norm(max_move);
-                    adjusted[j] = self.region.clamp(positions[j] + step);
-                    lcm_followers += 1;
-                    changed = true;
-                    if adjusted[j].distance(adjusted[i]) > rc {
-                        // Still out of reach: the mover gives up part of
-                        // its own progress until the edge holds.
-                        let mut t: f64 = 1.0;
-                        while t > 0.0 {
-                            t -= 0.25;
-                            let candidate = positions[i].lerp(adjusted[i], t.max(0.0));
-                            if candidate.distance(adjusted[j]) <= 0.98 * rc {
-                                adjusted[i] = candidate;
-                                break;
-                            }
-                        }
-                        if adjusted[i].distance(adjusted[j]) > rc {
-                            adjusted[i] = positions[i];
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        drop(_lcm_timer);
-
-        // Phase 4: apply.
-        let _apply_timer = cps_obs::time(cps_obs::Phase::CmaMove, 1);
-        let mut moved = 0usize;
-        let mut max_displacement = 0.0f64;
-        for (i, &id) in alive_ids.iter().enumerate() {
-            let node = &mut self.nodes[id];
-            let d = node.position.distance(adjusted[i]);
-            if d > 1e-12 {
-                moved += 1;
-            }
-            max_displacement = max_displacement.max(d);
-            node.traveled += d;
-            node.position = adjusted[i];
-            node.curvature = new_curvature[i];
-        }
-        drop(_apply_timer);
-        self.time += self.config.time_step;
-        self.slot += 1;
-        // Update the gossiped curvature reference: running maximum with
-        // a slow decay so the scale tracks the evolving field.
-        let observed = self
-            .nodes
-            .iter()
-            .filter(|n| n.alive)
-            .map(|n| n.curvature.abs())
-            .fold(0.0f64, f64::max);
-        self.curvature_scale = observed.max(0.98 * self.curvature_scale);
-
-        // End-of-slot fault accounting: battery drain per survivor and
-        // the slot counter for the next stream.
-        if let Some(rt) = self.fault.as_mut() {
-            for (i, &id) in alive_ids.iter().enumerate() {
-                rt.drain_battery(id, positions[i].distance(adjusted[i]));
-            }
-            rt.slot += 1;
-        }
-
-        Ok(StepReport {
+    /// The full-control entry point: one slot through an explicit
+    /// pipeline, with observers. [`step`](Simulation::step) is this
+    /// with the standard pipeline and no observers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage and observer failures.
+    pub fn step_with(
+        &mut self,
+        pipeline: &mut StagePipeline<F>,
+        observers: &mut [&mut dyn StepObserver<F>],
+    ) -> Result<StepReport, CoreError> {
+        let mut bus = EventBus::new(observers);
+        bus.emit(StepEvent::SlotStart {
+            slot: self.slot,
             time: self.time,
-            moved,
-            lcm_followers,
-            max_displacement,
-            messages,
-            deaths,
-            retried,
-            dropped,
-            components,
-        })
+        })?;
+        let report = {
+            let mut ctx = StepCtx::new(self);
+            pipeline.run(&mut ctx, &mut bus)?;
+            ctx.into_report()?
+        };
+        bus.emit(StepEvent::SlotEnd {
+            sim: self,
+            report: &report,
+        })?;
+        Ok(report)
     }
 
     /// Steps until the clock reaches `t_end` (minutes), returning the
@@ -974,6 +762,7 @@ impl CmaBuilder {
 mod tests {
     use super::*;
     use cps_field::{GaussianBlob, PeaksField, PlaneField, Static};
+    use cps_network::UnitDiskGraph;
 
     fn region() -> Rect {
         Rect::square(100.0).unwrap()

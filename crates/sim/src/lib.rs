@@ -37,8 +37,11 @@ mod engine;
 mod exploration;
 mod fault;
 mod metrics;
+mod observers;
+mod optimizer;
 mod sampling;
 pub mod scenario;
+pub mod stage;
 pub mod sweep;
 mod trajectory;
 
@@ -51,7 +54,16 @@ pub use fault::{
     BatteryModel, DeathCause, FaultEvent, FaultPlan, FaultPlanBuilder, RecoveryPolicy,
 };
 pub use metrics::{ConvergenceDetector, DeltaTimeline};
+pub use observers::RunRecorder;
+pub use optimizer::{
+    CmaOptimizer, EngineBuilder, FraOptimizer, HybridOptimizer, Optimizer, OptimizerKind,
+    OptimizerRun,
+};
 pub use sampling::{path_sampling_gain, reconstruct_with_path_samples, PathSample, PathSampleBank};
+pub use stage::{
+    EventBus, ExchangeStage, FaultStage, ObsAdapter, OptimizeStage, RecordStage, RecoveryStage,
+    SenseStage, Stage, StagePipeline, StepCtx, StepEvent, StepObserver,
+};
 pub use sweep::{
     run_sweep, Aggregate, CellAggregate, JobOutcome, SweepJob, SweepManifest, SweepResults,
     SweepSpec, SWEEP_MANIFEST_VERSION,

@@ -56,7 +56,7 @@ use crate::checkpoint::{
     snapshot_io,
 };
 use crate::fault::FaultPlan;
-use crate::{scenario, CmaBuilder, DeltaTimeline, FaultEvent, SimConfig};
+use crate::{scenario, CmaBuilder, DeltaTimeline, FaultEvent, RunRecorder, SimConfig};
 
 /// Newest sweep-manifest format version this build reads and writes.
 pub const SWEEP_MANIFEST_VERSION: u32 = 1;
@@ -206,10 +206,14 @@ impl SweepSpec {
     /// FNV-1a digest of the canonical spec encoding; manifests record
     /// it so a resume against a different spec is rejected instead of
     /// mixing incompatible outcomes.
-    pub fn digest(&self) -> u64 {
-        let payload = serde_json::to_string(&self.encode().expect("validated spec encodes"))
-            .expect("spec value serializes");
-        fnv1a64(payload.as_bytes())
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SnapshotCorrupt`] when a knob holds a non-finite
+    /// float (the spec cannot be canonically encoded).
+    pub fn digest(&self) -> Result<u64, CoreError> {
+        let payload = self.to_json()?;
+        Ok(fnv1a64(payload.as_bytes()))
     }
 
     /// Serializes to the canonical JSON text.
@@ -599,7 +603,11 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
-    fn build(spec: &SweepSpec, jobs: Vec<SweepJob>, outcomes: Vec<JobOutcome>) -> Self {
+    fn build(
+        spec: &SweepSpec,
+        jobs: Vec<SweepJob>,
+        outcomes: Vec<JobOutcome>,
+    ) -> Result<Self, CoreError> {
         let per_cell = spec.seeds.len();
         let mut cells = Vec::new();
         // Cells iterate in the same nested order as the expansion, so
@@ -622,8 +630,12 @@ impl SweepResults {
                         comm_radius: rc,
                         fault_spec: fault.clone(),
                         jobs: per_cell,
-                        final_delta: Aggregate::from_values(&finals)
-                            .expect("each cell has at least one seed"),
+                        final_delta: Aggregate::from_values(&finals).ok_or(
+                            CoreError::InvalidParameter {
+                                name: "sweep",
+                                requirement: "each cell must cover at least one seed",
+                            },
+                        )?,
                         best_delta: Aggregate::from_values(&bests),
                         connected_fraction: connected,
                         mean_alive,
@@ -633,12 +645,12 @@ impl SweepResults {
                 }
             }
         }
-        SweepResults {
-            spec_digest: format!("{:016x}", spec.digest()),
+        Ok(SweepResults {
+            spec_digest: format!("{:016x}", spec.digest()?),
             jobs,
             outcomes,
             cells,
-        }
+        })
     }
 
     /// Serializes to deterministic JSON: object keys are sorted
@@ -934,16 +946,29 @@ fn run_job<F: TimeVaryingField + Sync>(
     }
     let mut sim = builder.run(field)?;
     let grid = GridSpec::new(spec.region, spec.resolution, spec.resolution)?;
-    let mut timeline = DeltaTimeline::for_simulation(&sim);
-    let mut last = timeline.record(&sim, &grid)?;
+    // The δ timeline rides the step-observer bus; the job loop only
+    // steps the engine and folds the message count.
+    let mut recorder = RunRecorder::new()
+        .timeline(DeltaTimeline::for_simulation(&sim), grid)
+        .sample_every(spec.sample_every)
+        .final_slot(spec.minutes);
+    let mut last = recorder.prime(&sim)?.ok_or(CoreError::InvalidParameter {
+        name: "sweep",
+        requirement: "job recorder must carry a delta timeline",
+    })?;
     let mut messages = 0u64;
-    for minute in 1..=spec.minutes {
-        let report = sim.step()?;
+    for _ in 1..=spec.minutes {
+        let report = sim.step_observed(&mut [&mut recorder])?;
         messages += report.messages as u64;
-        if minute.is_multiple_of(spec.sample_every) || minute == spec.minutes {
-            last = timeline.record(&sim, &grid)?;
+        if let Some(sample) = recorder.take_sample() {
+            last = sample;
         }
     }
+    let (timeline, _) = recorder.into_parts();
+    let timeline = timeline.ok_or(CoreError::InvalidParameter {
+        name: "sweep",
+        requirement: "job recorder must return its delta timeline",
+    })?;
     let deaths = sim
         .fault_events()
         .iter()
@@ -971,6 +996,16 @@ fn run_job<F: TimeVaryingField + Sync>(
 /// field from its seed — it must be deterministic for resume
 /// bit-identity to hold.
 ///
+/// Locks `mutex`, recovering the data from a poisoned lock: a poisoned
+/// sweep mutex means a worker panicked mid-job, and that job's empty
+/// slot already surfaces as a typed error at fold time — compounding
+/// the panic across the surviving workers would only mask it.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The result is **bit-identical** for any `workers` value and any job
 /// completion order, and across interrupt + resume.
 ///
@@ -991,7 +1026,7 @@ where
 {
     spec.validate()?;
     let jobs = spec.jobs();
-    let spec_digest = spec.digest();
+    let spec_digest = spec.digest()?;
     let n = jobs.len();
     let mut slots: Vec<Option<Result<JobOutcome, CoreError>>> = (0..n).map(|_| None).collect();
 
@@ -1036,21 +1071,21 @@ where
         if i >= n {
             break;
         }
-        if slots.lock().expect("sweep slots lock")[i].is_some() {
+        if lock_or_recover(&slots)[i].is_some() {
             continue; // replayed from the manifest
         }
         let job = &jobs[i];
         let mut result = run_job(spec, job, make_field(job));
         cps_obs::count(cps_obs::Counter::SweepJobs);
         if let Ok(outcome) = &result {
-            let mut guard = manifest.lock().expect("sweep manifest lock");
+            let mut guard = lock_or_recover(&manifest);
             if let Some(m) = guard.as_mut() {
                 if let Err(e) = m.record(i as u64, job.digest(spec_digest), outcome.clone()) {
                     result = Err(e);
                 }
             }
         }
-        slots.lock().expect("sweep slots lock")[i] = Some(result);
+        lock_or_recover(&slots)[i] = Some(result);
     };
     if workers <= 1 {
         work();
@@ -1061,7 +1096,9 @@ where
         cps_pool::run_with(pool_jobs, work);
     }
 
-    let slots = slots.into_inner().expect("sweep slots lock");
+    let slots = slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut outcomes = Vec::with_capacity(n);
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
@@ -1070,7 +1107,7 @@ where
             None => return Err(corrupt(format!("job {i} was never executed"))),
         }
     }
-    Ok(SweepResults::build(spec, jobs, outcomes))
+    SweepResults::build(spec, jobs, outcomes)
 }
 
 #[cfg(test)]
@@ -1126,13 +1163,13 @@ mod tests {
         let text = spec.to_json().unwrap();
         let back = SweepSpec::from_json(&text).unwrap();
         assert_eq!(spec, back);
-        assert_eq!(spec.digest(), back.digest());
+        assert_eq!(spec.digest().unwrap(), back.digest().unwrap());
 
         // A minimal spec keeps defaults for everything unnamed.
         let minimal = SweepSpec::from_json(r#"{"k": [4, 9]}"#).unwrap();
         assert_eq!(minimal.k, vec![4, 9]);
         assert_eq!(minimal.seeds, SweepSpec::default().seeds);
-        assert_ne!(minimal.digest(), spec.digest());
+        assert_ne!(minimal.digest().unwrap(), spec.digest().unwrap());
     }
 
     #[test]
@@ -1183,7 +1220,7 @@ mod tests {
         let reference_json = reference.to_json().unwrap();
 
         // Simulate an interrupt: a manifest holding only half the jobs.
-        let digest = spec.digest();
+        let digest = spec.digest().unwrap();
         let jobs = spec.jobs();
         let mut partial = SweepManifest::create(&manifest_path, digest).unwrap();
         for i in [0usize, 2] {

@@ -10,7 +10,7 @@
 //! ([`DeltaEvaluator`] and its [`EvalOptions`]), the thread-count
 //! policy [`Parallelism`], the instrumentation layer (the `obs` module
 //! plus its [`RunMetrics`] snapshot), and the workspace-wide
-//! [`Error`](crate::Error). Anything more specialised stays behind the
+//! [`Error`]. Anything more specialised stays behind the
 //! per-crate modules (`cps::field`, `cps::geometry`, ...).
 
 pub use crate::Error;
@@ -18,10 +18,6 @@ pub use cps_core::osd::{FraBuilder, FraResult};
 pub use cps_core::{
     analyze_deployment, analyze_deployment_with, CoreError, DeltaEvaluator, DeploymentEvaluation,
     DeploymentReport, EvalOptions, SurvivabilityReport, SurvivabilityTracker,
-};
-#[allow(deprecated)] // the legacy quartet stays importable during migration
-pub use cps_core::{
-    evaluate_deployment, evaluate_deployment_with, evaluate_survivors, evaluate_survivors_with,
 };
 pub use cps_field::{Field, Parallelism, ReconstructedSurface, Static, TimeVaryingField};
 pub use cps_geometry::{GridSpec, Point2, Rect};

@@ -62,7 +62,7 @@ fn interrupted_sweep_resumes_to_byte_identical_output() {
     let dir = temp_dir("resume");
     let manifest_path = dir.join("sweep.manifest");
     let spec = spec();
-    let digest = spec.digest();
+    let digest = spec.digest().unwrap();
     let jobs = spec.jobs();
 
     // The uninterrupted reference (writing its own manifest as it goes).
